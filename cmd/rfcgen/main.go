@@ -1,0 +1,102 @@
+// Command rfcgen generates a topology and prints its structural properties
+// or its edge list.
+//
+// Usage examples:
+//
+//	rfcgen -topo rfc -radix 36 -levels 3 -leaves 648 -seed 1
+//	rfcgen -topo cft -radix 16 -levels 3
+//	rfcgen -topo oft -q 5 -levels 2 -edges
+//	rfcgen -topo rrn -n 128 -degree 8 -terms 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rfclos"
+)
+
+func main() {
+	var (
+		topo   = flag.String("topo", "rfc", "topology: rfc | cft | oft | kary | rrn")
+		radix  = flag.Int("radix", 16, "switch radix (rfc, cft)")
+		levels = flag.Int("levels", 3, "levels (rfc, cft, oft, kary)")
+		leaves = flag.Int("leaves", 0, "leaf switches N1 (rfc; 0 = maximum for radix/levels)")
+		q      = flag.Int("q", 3, "projective plane order (oft)")
+		k      = flag.Int("k", 4, "arity (kary)")
+		n      = flag.Int("n", 64, "switches (rrn)")
+		degree = flag.Int("degree", 6, "network degree (rrn)")
+		terms  = flag.Int("terms", 3, "terminals per switch (rrn)")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		edges  = flag.Bool("edges", false, "print the edge list instead of a summary")
+		dot    = flag.Bool("dot", false, "print the topology as Graphviz DOT")
+	)
+	flag.Parse()
+	if err := run(*topo, *radix, *levels, *leaves, *q, *k, *n, *degree, *terms, *seed, *edges, *dot); err != nil {
+		fmt.Fprintln(os.Stderr, "rfcgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topo string, radix, levels, leaves, q, k, n, degree, terms int, seed uint64, edges, dot bool) error {
+	if topo == "rrn" {
+		rrn, err := rfclos.NewRRN(n, degree, terms, seed)
+		if err != nil {
+			return err
+		}
+		if edges {
+			for _, e := range rrn.G.Edges() {
+				fmt.Println(e.U, e.V)
+			}
+			return nil
+		}
+		fmt.Printf("RRN: N=%d degree=%d radix=%d terminals=%d wires=%d diameter=%d\n",
+			rrn.N(), rrn.Degree, rrn.Radix(), rrn.Terminals(), rrn.Wires(), rrn.Diameter())
+		return nil
+	}
+
+	var (
+		c   *rfclos.Clos
+		err error
+	)
+	switch topo {
+	case "rfc":
+		if leaves == 0 {
+			leaves = rfclos.MaxLeaves(radix, levels)
+		}
+		p := rfclos.Params{Radix: radix, Levels: levels, Leaves: leaves}
+		var router *rfclos.Router
+		c, router, err = rfclos.NewRFC(p, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# threshold radix %.2f, x=%.2f, predicted routability %.3f\n",
+			rfclos.ThresholdRadix(leaves, levels), rfclos.XParam(radix, leaves, levels),
+			rfclos.SuccessProbability(rfclos.XParam(radix, leaves, levels)))
+		fmt.Printf("# up/down routable: %v\n", router.Routable())
+	case "cft":
+		c, err = rfclos.NewCFT(radix, levels)
+	case "oft":
+		c, err = rfclos.NewOFT(q, levels)
+	case "kary":
+		c, err = rfclos.NewKaryTree(k, levels)
+	default:
+		return fmt.Errorf("unknown topology %q", topo)
+	}
+	if err != nil {
+		return err
+	}
+	if dot {
+		return c.WriteDOT(os.Stdout)
+	}
+	if edges {
+		for _, l := range c.Links() {
+			fmt.Println(l.A, l.B)
+		}
+		return nil
+	}
+	fmt.Println(c)
+	fmt.Printf("switches=%d total-ports=%d\n", c.NumSwitches(), c.TotalPorts())
+	return nil
+}

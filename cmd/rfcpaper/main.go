@@ -1,0 +1,246 @@
+// Command rfcpaper regenerates the paper's exhibits: Figures 5-12, Table 3,
+// the §5 cost table and a Theorem 4.2 Monte-Carlo validation.
+//
+// Usage:
+//
+//	rfcpaper -exhibit fig5            # analytic, instant
+//	rfcpaper -exhibit fig8 -scale small
+//	rfcpaper -exhibit table3 -trials 100
+//	rfcpaper -exhibit all -scale small
+//
+// -scale small (default) runs radix-16 analogues of the simulation
+// scenarios that preserve the paper's comparisons on one machine;
+// -scale paper uses the exact radix-36 networks (11K/100K/200K terminals)
+// and is slow.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"rfclos"
+	"rfclos/internal/analysis"
+)
+
+func main() {
+	var (
+		exhibit  = flag.String("exhibit", "all", "fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table3|thm42|costs|ablation|structure|adversarial|tables|jellyfish|all")
+		scale    = flag.String("scale", "small", "small | paper (simulation exhibits)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		trials   = flag.Int("trials", 0, "trials/repetitions (0 = per-exhibit default)")
+		cycles   = flag.Int("cycles", 0, "measured cycles per simulation (0 = default)")
+		reps     = flag.Int("reps", 0, "simulation repetitions per point (0 = default)")
+		loads    = flag.String("loads", "", "comma-separated offered loads for fig8-10 (default sweep 0.1..1.0)")
+		patterns = flag.String("patterns", "", "comma-separated traffic patterns for fig8-10 (default all three)")
+		infSink  = flag.Bool("infsink", false, "model infinite reception bandwidth (see simnet.Config.InfiniteSink)")
+		asCSV    = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		quiet    = flag.Bool("quiet", false, "suppress progress lines")
+	)
+	flag.Parse()
+	r := runner{
+		scale:   analysis.Scale(*scale),
+		seed:    *seed,
+		trials:  *trials,
+		cycles:  *cycles,
+		reps:    *reps,
+		infSink: *infSink,
+		asCSV:   *asCSV,
+		quiet:   *quiet,
+	}
+	if *loads != "" {
+		for _, f := range strings.Split(*loads, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rfcpaper: bad -loads:", err)
+				os.Exit(2)
+			}
+			r.loads = append(r.loads, v)
+		}
+	}
+	if *patterns != "" {
+		r.patterns = strings.Split(*patterns, ",")
+	}
+	if err := r.run(*exhibit); err != nil {
+		fmt.Fprintln(os.Stderr, "rfcpaper:", err)
+		os.Exit(1)
+	}
+}
+
+type runner struct {
+	scale    analysis.Scale
+	seed     uint64
+	trials   int
+	cycles   int
+	reps     int
+	loads    []float64
+	patterns []string
+	infSink  bool
+	asCSV    bool
+	quiet    bool
+}
+
+func (r runner) progress() func(string) {
+	if r.quiet {
+		return nil
+	}
+	return func(s string) { fmt.Fprintln(os.Stderr, "  ...", s) }
+}
+
+func (r runner) simOptions() analysis.SimOptions {
+	opts := analysis.SimOptions{
+		Seed: r.seed, Reps: r.reps, Progress: r.progress(),
+		Loads: r.loads, Patterns: r.patterns,
+	}
+	opts.Sim.InfiniteSink = r.infSink
+	if r.cycles > 0 {
+		opts.Sim.MeasureCycles = r.cycles
+		opts.Sim.WarmupCycles = r.cycles / 4
+	}
+	return opts
+}
+
+func (r runner) run(exhibit string) error {
+	all := exhibit == "all"
+	ran := false
+	emit := func(rep *rfclos.Report, err error) error {
+		if err != nil {
+			return err
+		}
+		if r.asCSV {
+			fmt.Print(rep.CSV())
+		} else {
+			fmt.Println(rep.Format())
+		}
+		ran = true
+		return nil
+	}
+	start := time.Now()
+	radix := 36 // the paper's commodity radix for the analytic exhibits
+
+	if all || exhibit == "fig5" {
+		if err := emit(rfclos.Fig5Diameter(radix), nil); err != nil {
+			return err
+		}
+	}
+	if all || exhibit == "fig6" {
+		if err := emit(rfclos.Fig6Scalability(nil), nil); err != nil {
+			return err
+		}
+	}
+	if all || exhibit == "fig7" {
+		if err := emit(rfclos.Fig7Expandability(radix, 0, 40), nil); err != nil {
+			return err
+		}
+	}
+	if all || exhibit == "costs" {
+		if err := emit(rfclos.Costs(), nil); err != nil {
+			return err
+		}
+	}
+	if all || exhibit == "thm42" {
+		n1, tr := 300, 100
+		if r.trials > 0 {
+			tr = r.trials
+		}
+		rep, err := rfclos.Thm42(n1, tr, r.seed)
+		if err := emit(rep, err); err != nil {
+			return err
+		}
+	}
+	for i, name := range []string{"fig8", "fig9", "fig10"} {
+		if all || exhibit == name {
+			rep, err := rfclos.ScenarioSweep(r.scale, i, r.simOptions())
+			if err := emit(rep, err); err != nil {
+				return err
+			}
+		}
+	}
+	if all || exhibit == "fig11" {
+		opts := rfclos.Fig11Options{Radix: 12, Seed: r.seed}
+		if r.trials > 0 {
+			opts.Trials = r.trials
+		}
+		rep, err := rfclos.Fig11UpDownFaults(opts)
+		if err := emit(rep, err); err != nil {
+			return err
+		}
+	}
+	if all || exhibit == "fig12" {
+		opts := rfclos.Fig12Options{Scale: r.scale, Seed: r.seed, Reps: r.reps, Progress: r.progress()}
+		if r.cycles > 0 {
+			opts.Sim.MeasureCycles = r.cycles
+			opts.Sim.WarmupCycles = r.cycles / 4
+		}
+		rep, err := rfclos.Fig12FaultThroughput(opts)
+		if err := emit(rep, err); err != nil {
+			return err
+		}
+	}
+	if all || exhibit == "ablation" {
+		opts := rfclos.AblationOptions{Scale: r.scale, Seed: r.seed, Reps: r.reps}
+		if r.cycles > 0 {
+			opts.Sim.MeasureCycles = r.cycles
+			opts.Sim.WarmupCycles = r.cycles / 4
+		}
+		rep, err := rfclos.Ablations(opts)
+		if err := emit(rep, err); err != nil {
+			return err
+		}
+	}
+	if all || exhibit == "structure" {
+		opts := rfclos.StructureOptions{Seed: r.seed}
+		rep, err := rfclos.Structure(opts)
+		if err := emit(rep, err); err != nil {
+			return err
+		}
+	}
+	if all || exhibit == "adversarial" {
+		opts := rfclos.AdversarialOptions{Scale: r.scale, Seed: r.seed, Reps: r.reps}
+		if r.cycles > 0 {
+			opts.Sim.MeasureCycles = r.cycles
+			opts.Sim.WarmupCycles = r.cycles / 4
+		}
+		rep, err := rfclos.Adversarial(opts)
+		if err := emit(rep, err); err != nil {
+			return err
+		}
+	}
+	if all || exhibit == "tables" {
+		rep, err := rfclos.TablesReport(r.scale, 8, r.seed)
+		if err := emit(rep, err); err != nil {
+			return err
+		}
+	}
+	if all || exhibit == "jellyfish" {
+		opts := rfclos.JellyfishOptions{Scale: r.scale, Seed: r.seed, Reps: r.reps, Loads: r.loads}
+		if r.cycles > 0 {
+			opts.Sim.MeasureCycles = r.cycles
+			opts.Sim.WarmupCycles = r.cycles / 4
+		}
+		rep, err := rfclos.Jellyfish(opts)
+		if err := emit(rep, err); err != nil {
+			return err
+		}
+	}
+	if all || exhibit == "table3" {
+		opts := rfclos.Table3Options{Seed: r.seed}
+		if r.trials > 0 {
+			opts.Trials = r.trials
+		}
+		rep, err := rfclos.Table3Disconnect(opts)
+		if err := emit(rep, err); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown exhibit %q", exhibit)
+	}
+	if !r.quiet {
+		fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

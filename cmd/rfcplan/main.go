@@ -1,0 +1,48 @@
+// Command rfcplan prints the §5 expansion schedule for growing a Random
+// Folded Clos datacenter: per step, the added terminals, switch and wire
+// counts, and how many existing links must be re-plugged, flagging where
+// the Theorem 4.2 threshold forces a weak expansion (an extra level).
+//
+// Usage:
+//
+//	rfcplan -radix 36 -levels 3 -from 11664 -to 202572
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rfclos"
+)
+
+func main() {
+	var (
+		radix  = flag.Int("radix", 36, "switch radix")
+		levels = flag.Int("levels", 3, "levels")
+		from   = flag.Int("from", 11664, "initial terminal count")
+		to     = flag.Int("to", 0, "target terminal count (0 = Theorem 4.2 maximum)")
+		rows   = flag.Int("rows", 15, "max schedule rows")
+	)
+	flag.Parse()
+	if *to == 0 {
+		*to = rfclos.MaxTerminals(*radix, *levels)
+	}
+	steps, err := rfclos.PlanExpansion(*radix, *levels, *from, *to, *rows)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rfcplan:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("expansion plan: radix %d, %d levels, %d -> %d terminals\n", *radix, *levels, *from, *to)
+	fmt.Printf("threshold: %d terminals (add a level beyond this)\n\n", rfclos.MaxTerminals(*radix, *levels))
+	fmt.Printf("%-10s %-11s %-10s %-10s %-10s %-12s %s\n",
+		"increment", "terminals", "switches", "wires", "rewired", "cum-rewired", "")
+	for _, s := range steps {
+		mark := ""
+		if s.AtThreshold {
+			mark = "<< Theorem 4.2 threshold: weak-expand next"
+		}
+		fmt.Printf("%-10d %-11d %-10d %-10d %-10d %-12d %s\n",
+			s.Increment, s.Terminals, s.Switches, s.Wires, s.RewiredLinks, s.CumRewired, mark)
+	}
+}

@@ -1,0 +1,99 @@
+// Command rfcsim runs one virtual cut-through simulation point: a topology,
+// a traffic pattern, an offered load and optionally link faults.
+//
+// Usage examples:
+//
+//	rfcsim -topo rfc -radix 16 -levels 3 -leaves 128 -pattern uniform -load 0.7
+//	rfcsim -topo cft -radix 16 -levels 3 -pattern random-pairing -load 1.0 -faults 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rfclos"
+	"rfclos/internal/analysis"
+	"rfclos/internal/rng"
+)
+
+func main() {
+	var (
+		topo    = flag.String("topo", "rfc", "topology: rfc | cft | oft")
+		radix   = flag.Int("radix", 16, "switch radix (rfc, cft)")
+		levels  = flag.Int("levels", 3, "levels")
+		leaves  = flag.Int("leaves", 0, "leaf switches N1 (rfc; 0 = sized to the CFT of equal radix)")
+		q       = flag.Int("q", 3, "projective plane order (oft)")
+		pattern = flag.String("pattern", "uniform", "traffic: uniform | random-pairing | fixed-random")
+		load    = flag.Float64("load", 0.5, "offered load in phits/node/cycle")
+		warmup  = flag.Int("warmup", 2000, "warm-up cycles")
+		cycles  = flag.Int("cycles", 10000, "measured cycles")
+		faults  = flag.Int("faults", 0, "random links to remove before simulating")
+		seed    = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if err := run(*topo, *radix, *levels, *leaves, *q, *pattern, *load, *warmup, *cycles, *faults, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "rfcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topo string, radix, levels, leaves, q int, pattern string, load float64, warmup, cycles, faults int, seed uint64) error {
+	var (
+		c      *rfclos.Clos
+		router *rfclos.Router
+		err    error
+	)
+	switch topo {
+	case "rfc":
+		if leaves == 0 {
+			cft, err := rfclos.NewCFT(radix, levels)
+			if err != nil {
+				return err
+			}
+			leaves = cft.LevelSize(1)
+		}
+		c, router, err = rfclos.NewRFC(rfclos.Params{Radix: radix, Levels: levels, Leaves: leaves}, seed)
+		if err != nil {
+			return err
+		}
+	case "cft":
+		c, err = rfclos.NewCFT(radix, levels)
+		if err != nil {
+			return err
+		}
+		router = rfclos.NewRouter(c)
+	case "oft":
+		c, err = rfclos.NewOFT(q, levels)
+		if err != nil {
+			return err
+		}
+		router = rfclos.NewRouter(c)
+	default:
+		return fmt.Errorf("unknown topology %q", topo)
+	}
+
+	if faults > 0 {
+		analysis.RemoveRandomLinks(c, faults, rng.New(seed+1))
+		router.Rebuild()
+		fmt.Printf("# removed %d links; up/down routable: %v\n", faults, router.Routable())
+	}
+
+	pat, err := rfclos.NewTraffic(pattern, c.Terminals(), seed+2)
+	if err != nil {
+		return err
+	}
+	cfg := rfclos.DefaultSimConfig()
+	cfg.WarmupCycles = warmup
+	cfg.MeasureCycles = cycles
+	cfg.Seed = seed + 3
+
+	fmt.Printf("# %v\n# pattern=%s load=%.3f warmup=%d cycles=%d\n", c, pattern, load, warmup, cycles)
+	res := rfclos.Simulate(c, router, pat, load, cfg)
+	fmt.Printf("accepted   %.4f phits/node/cycle\n", res.AcceptedLoad)
+	fmt.Printf("latency    avg %.1f  p50 %.0f  p95 %.0f  p99 %.0f  max %.0f cycles\n",
+		res.AvgLatency, res.P50Latency, res.P95Latency, res.P99Latency, res.MaxLatency)
+	fmt.Printf("packets    generated %d  delivered %d  dropped-at-source %d  unroutable %d\n",
+		res.Generated, res.Delivered, res.DroppedAtSource, res.UnroutableDrops)
+	return nil
+}

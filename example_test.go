@@ -1,0 +1,87 @@
+package rfclos_test
+
+import (
+	"fmt"
+
+	"rfclos"
+)
+
+// ExampleNewRFC builds the paper's equal-resources RFC (radix 36, 3 levels,
+// 648 leaf switches — the Figure 8 network) and verifies the Theorem 4.2
+// common-ancestor property.
+func ExampleNewRFC() {
+	p := rfclos.Params{Radix: 36, Levels: 3, Leaves: 648}
+	net, router, err := rfclos.NewRFC(p, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("terminals:", net.Terminals())
+	fmt.Println("switches:", net.NumSwitches())
+	fmt.Println("routable:", router.Routable())
+	// Output:
+	// terminals: 11664
+	// switches: 1620
+	// routable: true
+}
+
+// ExampleThresholdRadix shows the §4.2 sizing example: at radix 36 and
+// diameter 4 (3 levels), an RFC scales to ≈200K terminals where the CFT of
+// the same radix and diameter caps at 11,664.
+func ExampleThresholdRadix() {
+	fmt.Printf("threshold radix for 11254 leaves: %.1f\n", rfclos.ThresholdRadix(11254, 3))
+	fmt.Println("max RFC terminals:", rfclos.MaxTerminals(36, 3))
+	cft, _ := rfclos.NewCFT(36, 3)
+	fmt.Println("CFT terminals:", cft.Terminals())
+	// Output:
+	// threshold radix for 11254 leaves: 36.0
+	// max RFC terminals: 202536
+	// CFT terminals: 11664
+}
+
+// ExamplePlanExpansion prints the start of the §5 expansion schedule: every
+// increment adds R = 36 servers and rewires (l-1)·R = 72 links.
+func ExamplePlanExpansion() {
+	steps, err := rfclos.PlanExpansion(36, 3, 11664, 11664+5*36, 10)
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range steps[:3] {
+		fmt.Printf("inc %d: %d terminals, %d rewired\n", s.Increment, s.Terminals, s.RewiredLinks)
+	}
+	// Output:
+	// inc 0: 11664 terminals, 0 rewired
+	// inc 1: 11700 terminals, 72 rewired
+	// inc 2: 11736 terminals, 72 rewired
+}
+
+// ExampleNewOFT builds the Figure 2 network: the 2-level orthogonal
+// fat-tree of order 3.
+func ExampleNewOFT() {
+	oft, err := rfclos.NewOFT(3, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(oft)
+	// Output:
+	// folded Clos: R=8 levels=2 sizes=[26 13] terminals=104 wires=104
+}
+
+// ExampleSimulate runs a short uniform-traffic simulation on a small CFT
+// with the Table 2 parameters.
+func ExampleSimulate() {
+	net, err := rfclos.NewCFT(8, 2)
+	if err != nil {
+		panic(err)
+	}
+	router := rfclos.NewRouter(net)
+	pat, _ := rfclos.NewTraffic("uniform", net.Terminals(), 3)
+	cfg := rfclos.DefaultSimConfig()
+	cfg.WarmupCycles = 200
+	cfg.MeasureCycles = 1000
+	res := rfclos.Simulate(net, router, pat, 0.3, cfg)
+	fmt.Printf("accepted within 5%% of offered: %v\n", res.AcceptedLoad > 0.285 && res.AcceptedLoad < 0.315)
+	fmt.Println("conserved:", res.TotalGenerated == res.TotalDelivered+res.TotalDropped+res.InFlightAtEnd)
+	// Output:
+	// accepted within 5% of offered: true
+	// conserved: true
+}

@@ -1,0 +1,58 @@
+// Expansion walks the §5 story: a datacenter operator starts with a small
+// Random Folded Clos network and grows it in minimal increments (two
+// switches per level, one at the top, R new servers each time), watching
+// the rewiring cost stay tiny and the network stay routable — in contrast
+// with a fat-tree, which must add a whole level and rewire half its top
+// links to grow at all.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rfclos"
+)
+
+func main() {
+	const radix = 16
+	p := rfclos.ParamsForTerminals(radix, 3, 800)
+	net, router, err := rfclos.NewRFC(p, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial network: %v\n", net)
+	fmt.Printf("strong-expansion headroom at this radix/levels: up to %d terminals\n\n",
+		rfclos.MaxTerminals(radix, 3))
+
+	fmt.Printf("%-6s %-10s %-10s %-12s %-14s %s\n",
+		"step", "terminals", "switches", "wires", "rewired", "routable")
+	fmt.Printf("%-6d %-10d %-10d %-12d %-14s %v\n",
+		0, net.Terminals(), net.NumSwitches(), net.Wires(), "-", router.Routable())
+
+	totalRewired := 0
+	for step := 1; step <= 8; step++ {
+		// Each call performs one minimal increment: +R terminals.
+		bigger, rewired, err := rfclos.Expand(net, 1, uint64(100+step))
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalRewired += rewired
+		net = bigger
+		router = rfclos.NewRouter(net)
+		fmt.Printf("%-6d %-10d %-10d %-12d %-14s %v\n",
+			step, net.Terminals(), net.NumSwitches(), net.Wires(),
+			fmt.Sprintf("%d (%.2f%%)", rewired, 100*float64(rewired)/float64(net.Wires())),
+			router.Routable())
+	}
+
+	fmt.Printf("\ntotal links rewired over 8 increments: %d of %d (%.1f%%)\n",
+		totalRewired, net.Wires(), 100*float64(totalRewired)/float64(net.Wires()))
+
+	// A CFT of the same radix cannot grow beyond 2(R/2)^3 terminals
+	// without a fourth level; compare the step cost.
+	cft3, _ := rfclos.NewCFT(radix, 3)
+	cft4, _ := rfclos.NewCFT(radix, 4)
+	fmt.Printf("\nfat-tree alternative: 3-level CFT caps at %d terminals;\n", cft3.Terminals())
+	fmt.Printf("the next step is a 4-level CFT with %d switches and %d wires (vs %d/%d for the expanded RFC)\n",
+		cft4.NumSwitches(), cft4.Wires(), net.NumSwitches(), net.Wires())
+}

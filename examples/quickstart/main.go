@@ -1,0 +1,48 @@
+// Quickstart: build a Random Folded Clos network, check the Theorem 4.2
+// threshold, route a few pairs, and run a short simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rfclos"
+)
+
+func main() {
+	// Size a 3-level RFC with radix-16 switches for at least 1,000 compute
+	// nodes.
+	p := rfclos.ParamsForTerminals(16, 3, 1000)
+	fmt.Printf("parameters: %v\n", p)
+	fmt.Printf("threshold radix for %d leaves: %.2f (we use %d, x = %.1f, predicted routability %.3f)\n",
+		p.Leaves, rfclos.ThresholdRadix(p.Leaves, p.Levels), p.Radix,
+		rfclos.XParam(p.Radix, p.Leaves, p.Levels),
+		rfclos.SuccessProbability(rfclos.XParam(p.Radix, p.Leaves, p.Levels)))
+
+	// Generate: retries internally until the common-ancestor property
+	// holds (certain here, since we are far above the threshold).
+	net, router, err := rfclos.NewRFC(p, 2026)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built: %v\n", net)
+	fmt.Printf("up/down routable: %v\n", router.Routable())
+
+	// The up/down diameter is 2(l-1); look at a few shortest routes.
+	mean, _ := router.AverageShortestUpDown(5000, nil)
+	fmt.Printf("average shortest up/down distance: %.2f switch hops (diameter bound %d)\n",
+		mean, p.Diameter())
+
+	// Simulate uniform traffic at 70% load with the paper's Table 2
+	// parameters (shortened windows for a demo).
+	cfg := rfclos.DefaultSimConfig()
+	cfg.WarmupCycles = 1000
+	cfg.MeasureCycles = 4000
+	pat, err := rfclos.NewTraffic("uniform", net.Terminals(), 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := rfclos.Simulate(net, router, pat, 0.7, cfg)
+	fmt.Printf("uniform @ 0.7 offered: accepted %.3f phits/node/cycle, mean latency %.1f cycles\n",
+		res.AcceptedLoad, res.AvgLatency)
+}

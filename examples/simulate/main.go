@@ -1,0 +1,54 @@
+// Simulate compares the equal-resources CFT and RFC under the paper's
+// three datacenter traffic patterns across offered loads — a laptop-scale
+// Figure 8.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rfclos"
+)
+
+func main() {
+	const radix = 12
+	cft, err := rfclos.NewCFT(radix, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cftRouter := rfclos.NewRouter(cft)
+	p := rfclos.Params{Radix: radix, Levels: 3, Leaves: cft.LevelSize(1)}
+	rfc, rfcRouter, err := rfclos.NewRFC(p, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("comparing %v\n   versus %v\n\n", cft, rfc)
+
+	cfg := rfclos.DefaultSimConfig()
+	cfg.WarmupCycles = 500
+	cfg.MeasureCycles = 2500
+
+	loads := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	for _, pattern := range rfclos.TrafficNames() {
+		fmt.Printf("--- %s ---\n", pattern)
+		fmt.Printf("%-8s %-24s %-24s\n", "load", "CFT (accepted, latency)", "RFC (accepted, latency)")
+		for _, load := range loads {
+			row := fmt.Sprintf("%-8.2f", load)
+			for i, nu := range []struct {
+				c *rfclos.Clos
+				r *rfclos.Router
+			}{{cft, cftRouter}, {rfc, rfcRouter}} {
+				pat, err := rfclos.NewTraffic(pattern, nu.c.Terminals(), uint64(13+i))
+				if err != nil {
+					log.Fatal(err)
+				}
+				res := rfclos.Simulate(nu.c, nu.r, pat, load, cfg)
+				row += fmt.Sprintf(" %-24s", fmt.Sprintf("%.3f, %.1f cyc", res.AcceptedLoad, res.AvgLatency))
+			}
+			fmt.Println(row)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Paper shape to look for: identical curves under uniform and fixed-random;")
+	fmt.Println("under random-pairing the CFT (rearrangeably non-blocking) keeps a modest edge.")
+}

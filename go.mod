@@ -1,0 +1,3 @@
+module rfclos
+
+go 1.22

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"fmt"
+
+	"rfclos/internal/metrics"
+	"rfclos/internal/simnet"
+	"rfclos/internal/traffic"
+)
+
+// AblationOptions configures the design-choice ablations.
+type AblationOptions struct {
+	Scale Scale
+	Load  float64 // offered load, default 0.9 (near saturation, where the knobs matter)
+	Reps  int
+	Sim   simnet.Config
+	Seed  uint64
+}
+
+// Ablations quantifies the simulator/routing design choices DESIGN.md calls
+// out, on the equal-resources RFC:
+//
+//   - virtual-channel count (Table 2 uses 4): HoL-blocking relief;
+//   - per-VC buffer depth (Table 2 uses 4 packets);
+//   - request-refresh period (1 = INSEE's re-randomized request per cycle;
+//     larger trades adaptivity for simulation speed).
+//
+// Each row reports accepted load and latency at the configured offered
+// load under uniform traffic.
+func Ablations(opts AblationOptions) (*Report, error) {
+	if opts.Scale == "" {
+		opts.Scale = ScaleSmall
+	}
+	if opts.Load <= 0 {
+		opts.Load = 0.9
+	}
+	if opts.Reps <= 0 {
+		opts.Reps = 2
+	}
+	sc := Scenarios(opts.Scale)[0]
+	master := newSeeded(opts.Seed + 77)
+	rfc, ud, err := buildRoutableRFC(sc.RFC, master)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Title: fmt.Sprintf("Ablations: simulator design knobs (%s equal-resources RFC, uniform @ %.2f)",
+			opts.Scale, opts.Load),
+		Header: []string{"knob", "value", "accepted", "latency"},
+	}
+	run := func(knob string, value int, mutate func(*simnet.Config)) {
+		var acc, lat metrics.Summary
+		for i := 0; i < opts.Reps; i++ {
+			stream := master.Split()
+			cfg := opts.Sim
+			mutate(&cfg)
+			cfg.Seed = stream.Uint64()
+			res := simnet.New(rfc, ud, traffic.NewUniform(rfc.Terminals()), cfg).Run(opts.Load)
+			acc.Add(res.AcceptedLoad)
+			lat.Add(res.AvgLatency)
+		}
+		rep.AddRow(knob, itoa(value), fmt.Sprintf("%.4f", acc.Mean()), fmt.Sprintf("%.1f", lat.Mean()))
+	}
+	for _, vcs := range []int{1, 2, 4, 8} {
+		run("virtual-channels", vcs, func(c *simnet.Config) { c.VCs = vcs })
+	}
+	for _, buf := range []int{1, 2, 4, 8} {
+		run("buffer-packets", buf, func(c *simnet.Config) { c.BufferPackets = buf })
+	}
+	for _, rr := range []int{1, 4, 16} {
+		run("request-refresh", rr, func(c *simnet.Config) { c.RequestRefresh = rr })
+	}
+	// Routing policy: 0 = random per-request (Table 2), 1 = deterministic
+	// D-mod-K flow hashing.
+	run("hash-routing", 0, func(c *simnet.Config) { c.HashRouting = false })
+	run("hash-routing", 1, func(c *simnet.Config) { c.HashRouting = true })
+	// Reception model: 0 = 1 phit/cycle NIC, 1 = infinite sink.
+	run("infinite-sink", 0, func(c *simnet.Config) { c.InfiniteSink = false })
+	run("infinite-sink", 1, func(c *simnet.Config) { c.InfiniteSink = true })
+	return rep, nil
+}

@@ -1,0 +1,271 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"rfclos/internal/core"
+	"rfclos/internal/gf"
+	"rfclos/internal/topology"
+)
+
+// Fig5Diameter reproduces Figure 5: for a fixed radix, the diameter each
+// topology needs as the terminal count grows. For the step-function
+// topologies (CFT, OFT) each row is the capacity of one level count; for
+// the random topologies (RRN, RFC) each row is the maximum size before the
+// diameter increases.
+func Fig5Diameter(radix int) *Report {
+	rep := &Report{
+		Title: fmt.Sprintf("Figure 5: diameter evolution, radix %d", radix),
+		Notes: []string{
+			"each row: the largest terminal count the topology supports at that diameter",
+			"RFC/RRN capacities from the Theorem 4.2 / 2NlnN thresholds; CFT/OFT from closed forms",
+		},
+		Header: []string{"topology", "diameter", "max terminals"},
+	}
+	for l := 2; l <= 5; l++ {
+		d := 2 * (l - 1)
+		rep.AddRow("CFT", itoa(d), itoa(cftTerminals(radix, l)))
+	}
+	// Largest prime power q with 2(q+1) <= radix.
+	q := largestPrimePowerOrder(radix)
+	for l := 2; l <= 4; l++ {
+		d := 2 * (l - 1)
+		if q > 0 {
+			rep.AddRow("OFT", itoa(d), itoa(topology.OFTTerminals(q, l)))
+		}
+	}
+	for l := 2; l <= 5; l++ {
+		d := 2 * (l - 1)
+		rep.AddRow("RFC", itoa(d), itoa(core.MaxTerminals(radix, l)))
+	}
+	for d := 2; d <= 8; d++ {
+		// RRN at fixed radix: Δ = R·D/(D+1) network ports, Δ/D terminals.
+		deg := int(float64(radix) * float64(d) / float64(d+1))
+		tps := radix - deg
+		if deg < 3 || tps < 1 {
+			continue
+		}
+		n := core.RRNMaxSwitches(deg, d)
+		rep.AddRow("RRN", itoa(d), itoa(n*tps))
+	}
+	return rep
+}
+
+func cftTerminals(radix, levels int) int {
+	t := 2
+	for i := 0; i < levels; i++ {
+		t *= radix / 2
+	}
+	return t
+}
+
+func largestPrimePowerOrder(radix int) int {
+	for q := radix/2 - 1; q >= 2; q-- {
+		if gf.IsPrimePower(q) {
+			return q
+		}
+	}
+	return 0
+}
+
+// Fig6Scalability reproduces Figure 6: terminals versus switch radix for 2,
+// 3 and 4 levels per topology.
+func Fig6Scalability(radices []int) *Report {
+	if len(radices) == 0 {
+		radices = []int{8, 12, 16, 24, 36, 48, 64}
+	}
+	rep := &Report{
+		Title:  "Figure 6: scalability (terminals vs radix, levels 2-4)",
+		Header: []string{"topology", "levels", "radix", "terminals"},
+	}
+	for _, l := range []int{2, 3, 4} {
+		for _, r := range radices {
+			rep.AddRow("CFT", itoa(l), itoa(r), itoa(cftTerminals(r, l)))
+			rep.AddRow("RFC", itoa(l), itoa(r), itoa(core.MaxTerminals(r, l)))
+			if q := largestPrimePowerOrder(r); q > 0 {
+				rep.AddRow("OFT", itoa(l), itoa(2*(q+1)), itoa(topology.OFTTerminals(q, l)))
+			}
+			d := 2 * (l - 1)
+			deg := int(float64(r) * float64(d) / float64(d+1))
+			tps := r - deg
+			if deg >= 3 && tps >= 1 {
+				rep.AddRow("RRN", itoa(l), itoa(r), itoa(core.RRNMaxSwitches(deg, d)*tps))
+			}
+		}
+	}
+	return rep
+}
+
+// Fig7Expandability reproduces Figure 7: total port count (the raw cost
+// measure) versus terminal count as each topology expands, radix fixed.
+// CFT and OFT are step functions (each level jump deploys a full new
+// structure); RFC and RRN grow almost linearly.
+func Fig7Expandability(radix int, maxTerminals int, points int) *Report {
+	if points <= 1 {
+		points = 40
+	}
+	if maxTerminals <= 0 {
+		maxTerminals = core.MaxTerminals(radix, 3)
+	}
+	rep := &Report{
+		Title: fmt.Sprintf("Figure 7: expandability, radix %d (total ports vs terminals)", radix),
+		Notes: []string{
+			"ports = 2*wires + terminals; CFT/OFT deploy whole levels (step cost), RFC/RRN grow smoothly",
+		},
+		Header: []string{"topology", "terminals", "total ports"},
+	}
+	q := largestPrimePowerOrder(radix)
+	for i := 1; i <= points; i++ {
+		t := maxTerminals * i / points
+		if t < radix {
+			continue
+		}
+		// CFT: smallest level count whose capacity holds t.
+		for l := 2; l <= 6; l++ {
+			if cftTerminals(radix, l) >= t {
+				n1 := cftTerminals(radix, l) / (radix / 2)
+				wires := (l - 1) * n1 * radix / 2
+				rep.AddRow("CFT", itoa(t), itoa(2*wires+t))
+				break
+			}
+		}
+		// OFT: same stepping on its own capacities.
+		if q > 0 {
+			for l := 2; l <= 5; l++ {
+				if topology.OFTTerminals(q, l) >= t {
+					n := q*q + q + 1
+					n1 := 2 * pow(n, l-1)
+					wires := (l - 1) * n1 * (q + 1)
+					rep.AddRow("OFT", itoa(t), itoa(2*wires+t))
+					break
+				}
+			}
+		}
+		// RFC: minimum levels subject to the Theorem 4.2 threshold.
+		for l := 2; l <= 6; l++ {
+			if core.MaxTerminals(radix, l) >= t {
+				p := core.ParamsForTerminals(radix, l, t)
+				rep.AddRow("RFC", itoa(t), itoa(2*p.Wires()+t))
+				break
+			}
+		}
+		// RRN: fixed split Δ/terminals-per-switch, linear growth, stepping
+		// only when the diameter bound forces a re-split.
+		for d := 2; d <= 8; d++ {
+			deg := int(float64(radix) * float64(d) / float64(d+1))
+			tps := radix - deg
+			if deg < 3 || tps < 1 {
+				continue
+			}
+			if core.RRNMaxSwitches(deg, d)*tps >= t {
+				n := (t + tps - 1) / tps
+				rep.AddRow("RRN", itoa(t), itoa(n*deg+t))
+				break
+			}
+		}
+	}
+	return rep
+}
+
+func pow(b, e int) int {
+	v := 1
+	for i := 0; i < e; i++ {
+		v *= b
+	}
+	return v
+}
+
+// Costs reproduces the §5 cost comparisons: switch and wire counts for the
+// three scenarios plus the radix-20 equal-size RFC, with the savings the
+// paper quotes (31% switches / 36% wires at maximum expansion).
+func Costs() *Report {
+	rep := &Report{
+		Title:  "§5 cost comparison (paper scale, radix 36)",
+		Header: []string{"network", "terminals", "switches", "wires", "radix"},
+	}
+	type row struct {
+		name                      string
+		t, switches, wires, radix int
+	}
+	cft3 := row{"CFT 3-level", 11664, 1620, 23328, 36}
+	rfc3 := core.Params{Radix: 36, Levels: 3, Leaves: 648}
+	rfc20 := core.Params{Radix: 20, Levels: 3, Leaves: 1166}
+	cft4 := row{"CFT 4-level", 209952, 40824, 629856, 36}
+	rfcMax := core.Params{Radix: 36, Levels: 3, Leaves: 11254}
+	rfc100 := core.Params{Radix: 36, Levels: 3, Leaves: 5556}
+	rows := []row{
+		cft3,
+		{"RFC 3-level equal", rfc3.Terminals(), rfc3.Switches(), rfc3.Wires(), 36},
+		{"RFC 3-level radix-20", rfc20.Terminals(), rfc20.Switches(), rfc20.Wires(), 20},
+		{"RFC 3-level 100K", rfc100.Terminals(), rfc100.Switches(), rfc100.Wires(), 36},
+		{"RFC 3-level max (200K)", rfcMax.Terminals(), rfcMax.Switches(), rfcMax.Wires(), 36},
+		cft4,
+	}
+	for _, r := range rows {
+		rep.AddRow(r.name, itoa(r.t), itoa(r.switches), itoa(r.wires), itoa(r.radix))
+	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("200K savings vs 4-level CFT: %.0f%% switches, %.0f%% wires",
+			100*(1-float64(rfcMax.Switches())/float64(cft4.switches)),
+			100*(1-float64(rfcMax.Wires())/float64(cft4.wires))))
+	return rep
+}
+
+// Thm42 reproduces the Theorem 4.2 probability curve empirically: for a
+// 2-level RFC of n1 leaves, it sweeps the radix across the threshold and
+// reports empirical routability frequency against the asymptotic
+// e^{-e^{-x}} and the exact finite-size Poisson prediction.
+func Thm42(n1, trials int, seed uint64) (*Report, error) {
+	if n1 <= 0 {
+		n1 = 200
+	}
+	if trials <= 0 {
+		trials = 100
+	}
+	rep := &Report{
+		Title: fmt.Sprintf("Theorem 4.2 Monte-Carlo (2-level RFC, N1=%d, %d trials/row)", n1, trials),
+		Notes: []string{
+			"empirical = fraction of generated RFCs with the common-ancestor property",
+			"asymptotic = e^{-e^{-x}}; exact = e^{-λ} with hypergeometric λ",
+		},
+		Header: []string{"radix", "x", "empirical", "asymptotic", "exact"},
+	}
+	r := newSeeded(seed)
+	thr := core.ThresholdRadix(n1, 2)
+	lo := int(thr*0.8) &^ 1
+	hi := int(thr*1.25) &^ 1
+	for radix := lo; radix <= hi; radix += 2 {
+		p := core.Params{Radix: radix, Levels: 2, Leaves: n1}
+		if p.Validate() != nil {
+			continue
+		}
+		emp, err := core.EstimateUpDownProbability(p, trials, r)
+		if err != nil {
+			return nil, err
+		}
+		x := core.XParam(radix, n1, 2)
+		rep.AddRow(itoa(radix), ftoa(x), ftoa(emp), ftoa(core.SuccessProbability(x)), ftoa(exactRoutableProb(n1, radix)))
+	}
+	return rep, nil
+}
+
+// exactRoutableProb computes e^{-λ} with the exact hypergeometric pair
+// disjointness probability for a 2-level RFC.
+func exactRoutableProb(n1, radix int) float64 {
+	n2 := n1 / 2
+	delta := radix / 2
+	if delta > n2 {
+		return 1
+	}
+	logP := 0.0
+	for i := 0; i < delta; i++ {
+		num := float64(n2 - delta - i)
+		if num <= 0 {
+			return 1
+		}
+		logP += math.Log(num) - math.Log(float64(n2-i))
+	}
+	lambda := float64(n1) * float64(n1-1) / 2 * math.Exp(logP)
+	return math.Exp(-lambda)
+}

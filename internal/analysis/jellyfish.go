@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"fmt"
+
+	"rfclos/internal/metrics"
+	"rfclos/internal/simdirect"
+	"rfclos/internal/simnet"
+	"rfclos/internal/topology"
+	"rfclos/internal/traffic"
+)
+
+// JellyfishOptions configures the RFC-vs-RRN simulated comparison.
+type JellyfishOptions struct {
+	Scale Scale
+	Loads []float64
+	Reps  int
+	Sim   simnet.Config // Table 2 parameters, shared by both simulators
+	Seed  uint64
+}
+
+// Jellyfish runs the comparison the paper declines to simulate (§6): the
+// equal-resources RFC against Jellyfish-style random regular networks,
+// under uniform traffic. Two RRNs are simulated:
+//
+//   - "equal-T": the minimal-radix RRN carrying the same terminal count
+//     (the §7 sizing rule), and
+//   - "equal-equipment": an RRN built from the same switch count and radix
+//     as the RFC, carrying more terminals (the Jellyfish paper's "more
+//     servers with the same equipment" configuration).
+//
+// The direct networks route ECMP-shortest with hop-indexed virtual
+// channels for deadlock freedom — the extra mechanism (VCs >= diameter)
+// that the paper's §1/§6 cost argument is about; the report records the VC
+// requirement next to the throughput.
+func Jellyfish(opts JellyfishOptions) (*Report, error) {
+	if opts.Scale == "" {
+		opts.Scale = ScaleSmall
+	}
+	if len(opts.Loads) == 0 {
+		opts.Loads = []float64{0.3, 0.6, 0.9, 1.0}
+	}
+	if opts.Reps <= 0 {
+		opts.Reps = 2
+	}
+	sc := Scenarios(opts.Scale)[0]
+	master := newSeeded(opts.Seed + 31)
+
+	rfc, rud, err := buildRoutableRFC(sc.RFC, master)
+	if err != nil {
+		return nil, err
+	}
+	// Equal-T RRN (minimal radix for the same terminals at diameter 4).
+	spec := rrnSpecFor(sc.RFC.Terminals(), 4)
+	eqT, err := topology.NewRRN(spec.N, spec.Degree, spec.TermsPerSwitch, master)
+	if err != nil {
+		return nil, err
+	}
+	// Equal-equipment RRN: same switch count and radix as the RFC, ports
+	// split ~Δ:tps = 3:1 like a diameter-4 RRN.
+	eqSwitches := sc.RFC.Switches()
+	eqRadix := sc.RFC.Radix
+	tps := eqRadix / 4
+	deg := eqRadix - tps
+	if (eqSwitches*deg)%2 != 0 {
+		eqSwitches++
+	}
+	eqEquip, err := topology.NewRRN(eqSwitches, deg, tps, master)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Title: fmt.Sprintf("Extension: RFC vs Jellyfish (RRN), uniform traffic (%s scale)", opts.Scale),
+		Notes: []string{
+			fmt.Sprintf("RFC: %v — deadlock-free with 0 required VCs", sc.RFC),
+			fmt.Sprintf("RRN equal-T: %d switches × R%d, T=%d", eqT.N(), spec.Radix(), eqT.Terminals()),
+			fmt.Sprintf("RRN equal-equipment: %d switches × R%d, T=%d (%.0f%% more terminals than the RFC)",
+				eqEquip.N(), eqRadix, eqEquip.Terminals(),
+				100*(float64(eqEquip.Terminals())/float64(sc.RFC.Terminals())-1)),
+			"RRN rows need VCs >= diameter for deadlock freedom (hop-indexed scheme)",
+		},
+		Header: []string{"network", "load", "accepted", "latency"},
+	}
+
+	for _, load := range opts.Loads {
+		var acc, lat metrics.Summary
+		for i := 0; i < opts.Reps; i++ {
+			stream := master.Split()
+			cfg := opts.Sim
+			cfg.Seed = stream.Uint64()
+			res := simnet.New(rfc, rud, traffic.NewUniform(rfc.Terminals()), cfg).Run(load)
+			acc.Add(res.AcceptedLoad)
+			lat.Add(res.AvgLatency)
+		}
+		rep.AddRow(fmt.Sprintf("RFC-R%d", sc.RFC.Radix), ftoa(load),
+			fmt.Sprintf("%.4f", acc.Mean()), fmt.Sprintf("%.1f", lat.Mean()))
+	}
+	for _, rr := range []struct {
+		name string
+		net  *topology.RRN
+	}{
+		{fmt.Sprintf("RRN-eqT-R%d", spec.Radix()), eqT},
+		{fmt.Sprintf("RRN-eqEquip-R%d", eqRadix), eqEquip},
+	} {
+		for _, load := range opts.Loads {
+			var acc, lat metrics.Summary
+			for i := 0; i < opts.Reps; i++ {
+				stream := master.Split()
+				cfg := simdirect.Config{
+					VCs:            16, // covers any small-network diameter
+					BufferPackets:  opts.Sim.BufferPackets,
+					PacketLength:   opts.Sim.PacketLength,
+					LinkLatency:    opts.Sim.LinkLatency,
+					WarmupCycles:   opts.Sim.WarmupCycles,
+					MeasureCycles:  opts.Sim.MeasureCycles,
+					SourceQueueCap: opts.Sim.SourceQueueCap,
+					Seed:           stream.Uint64(),
+				}
+				sim, err := simdirect.New(rr.net, traffic.NewUniform(rr.net.Terminals()), cfg)
+				if err != nil {
+					return nil, err
+				}
+				res := sim.Run(load)
+				acc.Add(res.AcceptedLoad)
+				lat.Add(res.AvgLatency)
+			}
+			rep.AddRow(rr.name, ftoa(load),
+				fmt.Sprintf("%.4f", acc.Mean()), fmt.Sprintf("%.1f", lat.Mean()))
+		}
+	}
+	return rep, nil
+}

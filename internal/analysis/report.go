@@ -1,0 +1,116 @@
+// Package analysis implements one runner per exhibit of the paper's
+// evaluation — Figures 5 through 12 and Table 3, plus the §5 cost
+// comparisons and a Theorem 4.2 Monte-Carlo check. Each runner returns a
+// Report whose rows mirror what the paper plots or tabulates, at either the
+// paper's exact parameters or a laptop-friendly scaled configuration that
+// preserves the comparison's shape (see DESIGN.md).
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"rfclos/internal/metrics"
+)
+
+// Report is a rendered experiment result: a title, column headers and rows.
+type Report struct {
+	Title  string
+	Notes  []string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// Format renders the report as aligned text.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", r.Title)
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// CSV renders the report as comma-separated values (header row first),
+// ready for any plotting tool. Cells containing commas or quotes are
+// quoted per RFC 4180.
+func (r *Report) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, r.Header)
+	for _, row := range r.Rows {
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+			b.WriteByte('"')
+		} else {
+			b.WriteString(c)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+// seriesReport converts labelled series into a single report with columns
+// (series, x, y, yerr).
+func seriesReport(title string, notes []string, xName, yName string, series []metrics.Series) *Report {
+	r := &Report{
+		Title:  title,
+		Notes:  notes,
+		Header: []string{"series", xName, yName, "stddev"},
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			r.AddRow(s.Name, fmt.Sprintf("%g", p.X), fmt.Sprintf("%.4f", p.Y), fmt.Sprintf("%.4f", p.YErr))
+		}
+	}
+	return r
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+func ftoa(v float64) string { return fmt.Sprintf("%.4g", v) }

@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"fmt"
+
+	"rfclos/internal/core"
+	"rfclos/internal/metrics"
+	"rfclos/internal/routing"
+	"rfclos/internal/simnet"
+	"rfclos/internal/topology"
+	"rfclos/internal/traffic"
+)
+
+// Table3Options parameterises the disconnection experiment.
+type Table3Options struct {
+	Targets []int // terminal counts; default the paper's 512..8192
+	Trials  int   // removal orders averaged per cell (paper: 100)
+	Seed    uint64
+}
+
+// Table3Disconnect reproduces Table 3: the average percentage of links that
+// must be randomly removed to disconnect a diameter-4 (3-level) network of
+// each topology, sized per the paper's rules for each terminal target.
+func Table3Disconnect(opts Table3Options) (*Report, error) {
+	if len(opts.Targets) == 0 {
+		opts.Targets = []int{512, 1024, 2048, 4096, 8192}
+	}
+	if opts.Trials <= 0 {
+		opts.Trials = 100
+	}
+	r := newSeeded(opts.Seed)
+	rep := &Report{
+		Title: "Table 3: % of links removed to disconnect a diameter-4 network",
+		Notes: []string{
+			fmt.Sprintf("%d random removal orders per cell; radix chosen per topology as in §7", opts.Trials),
+		},
+		Header: []string{"~T", "CFT", "RRN", "RFC", "OFT"},
+	}
+	for _, target := range opts.Targets {
+		row := []string{itoa(target)}
+
+		cftR := cftRadixFor(target, 3)
+		cft, err := topology.NewCFT(cftR, 3)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, fmt.Sprintf("%.1f%% (R=%d)",
+			100*AverageFaultsToDisconnect(cft.SwitchGraph(), opts.Trials, r), cftR))
+
+		spec := rrnSpecFor(target, 4)
+		rrn, err := topology.NewRRN(spec.N, spec.Degree, spec.TermsPerSwitch, r)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, fmt.Sprintf("%.1f%% (R=%d)",
+			100*AverageFaultsToDisconnect(rrn.G, opts.Trials, r), spec.Radix()))
+
+		p := rfcParamsFor(target, 3)
+		rfc, err := core.Generate(p, r)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, fmt.Sprintf("%.1f%% (R=%d)",
+			100*AverageFaultsToDisconnect(rfc.SwitchGraph(), opts.Trials, r), p.Radix))
+
+		if q, ok := oftOrderFor(target, 3); ok {
+			oft, err := topology.NewOFT(q, 3)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.1f%% (R=%d)",
+				100*AverageFaultsToDisconnect(oft.SwitchGraph(), opts.Trials, r), 2*(q+1)))
+		} else {
+			row = append(row, "-")
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// Fig11Options parameterises the up/down fault-tolerance experiment.
+type Fig11Options struct {
+	Radix  int // paper: 12
+	Trials int // removal orders per point
+	// MaxLeavesCap bounds the largest RFC per level (the level-4 maximum
+	// is ~5,000 leaves at radix 12, heavy for one machine). 0 = default.
+	MaxLeavesCap int
+	Seed         uint64
+}
+
+// Fig11UpDownFaults reproduces Figure 11: the fraction of random link
+// failures tolerated while preserving up/down routing, for RFCs of 2, 3 and
+// 4 levels across sizes, with the CFT and OFT single points of the same
+// radix.
+func Fig11UpDownFaults(opts Fig11Options) (*Report, error) {
+	if opts.Radix <= 0 {
+		opts.Radix = 12
+	}
+	if opts.Trials <= 0 {
+		opts.Trials = 5
+	}
+	if opts.MaxLeavesCap <= 0 {
+		opts.MaxLeavesCap = 1200
+	}
+	r := newSeeded(opts.Seed)
+	var series []metrics.Series
+
+	for _, levels := range []int{2, 3, 4} {
+		s := metrics.Series{Name: fmt.Sprintf("RFC-%dL", levels)}
+		maxN1 := core.MaxLeaves(opts.Radix, levels)
+		if maxN1 > opts.MaxLeavesCap {
+			maxN1 = opts.MaxLeavesCap
+		}
+		for _, frac := range []float64{0.3, 0.5, 0.7, 0.9, 1.0} {
+			n1 := int(float64(maxN1)*frac) &^ 1
+			if n1 < opts.Radix {
+				continue
+			}
+			p := core.Params{Radix: opts.Radix, Levels: levels, Leaves: n1}
+			if p.Validate() != nil {
+				continue
+			}
+			c, _, _, err := core.GenerateRoutable(p, 50, r)
+			if err != nil {
+				continue // near/below threshold: 0 tolerance by definition
+			}
+			tol := AverageUpDownFaultTolerance(c, opts.Trials, r)
+			s.Add(float64(p.Terminals()), tol, 0)
+		}
+		series = append(series, s)
+	}
+	// CFT points.
+	cftSeries := metrics.Series{Name: "CFT"}
+	for _, levels := range []int{2, 3, 4} {
+		c, err := topology.NewCFT(opts.Radix, levels)
+		if err != nil {
+			return nil, err
+		}
+		cftSeries.Add(float64(c.Terminals()), AverageUpDownFaultTolerance(c, opts.Trials, r), 0)
+	}
+	series = append(series, cftSeries)
+	// OFT points (radix 2(q+1) == opts.Radix requires q = R/2-1 prime power).
+	if q := opts.Radix/2 - 1; q >= 2 {
+		oftSeries := metrics.Series{Name: "OFT"}
+		for _, levels := range []int{2, 3} {
+			c, err := topology.NewOFT(q, levels)
+			if err != nil {
+				break
+			}
+			if c.Terminals() > 50000 {
+				break
+			}
+			oftSeries.Add(float64(c.Terminals()), AverageUpDownFaultTolerance(c, opts.Trials, r), 0)
+		}
+		series = append(series, oftSeries)
+	}
+	return seriesReport(fmt.Sprintf("Figure 11: up/down fault tolerance, radix %d", opts.Radix),
+		[]string{"y = fraction of links removable before some leaf pair loses every up/down path"},
+		"terminals", "tolerated fraction", series), nil
+}
+
+// Fig12Options parameterises the throughput-under-faults experiment.
+type Fig12Options struct {
+	Scale      Scale
+	FaultSteps int // number of fault increments (paper: 10 steps of 300)
+	Reps       int
+	Sim        simnet.Config
+	Seed       uint64
+	Progress   func(string)
+}
+
+// Fig12FaultThroughput reproduces Figure 12: maximum throughput (accepted
+// load at offered 1.0) of the equal-resources CFT and RFC as links fail, for
+// the three traffic patterns. Faults are injected in equal increments up to
+// ~13% of the wires, the paper's range.
+func Fig12FaultThroughput(opts Fig12Options) (*Report, error) {
+	if opts.FaultSteps <= 0 {
+		opts.FaultSteps = 10
+	}
+	if opts.Reps <= 0 {
+		opts.Reps = 2
+	}
+	if opts.Scale == "" {
+		opts.Scale = ScaleSmall
+	}
+	sc := Scenarios(opts.Scale)[0]
+	master := newSeeded(opts.Seed + 12)
+
+	cft, err := sc.CFT.Build()
+	if err != nil {
+		return nil, err
+	}
+	rfc, _, err := buildRoutableRFC(sc.RFC, master)
+	if err != nil {
+		return nil, err
+	}
+	nets := []netUnderTest{
+		{fmt.Sprintf("CFT-R%d", sc.CFT.Radix), cft, nil},
+		{fmt.Sprintf("RFC-R%d", sc.RFC.Radix), rfc, nil},
+	}
+
+	var series []metrics.Series
+	for _, n := range nets {
+		wires := n.c.Wires()
+		step := wires * 13 / 100 / opts.FaultSteps
+		if step == 0 {
+			step = 1
+		}
+		for _, patName := range traffic.Names() {
+			s := metrics.Series{Name: n.name + "/" + patName}
+			for f := 0; f <= opts.FaultSteps; f++ {
+				faults := f * step
+				var acc metrics.Summary
+				for rep := 0; rep < opts.Reps; rep++ {
+					stream := master.Split()
+					faulty := n.c.Clone()
+					RemoveRandomLinks(faulty, faults, stream)
+					ud := routing.New(faulty)
+					pat, perr := traffic.New(patName, faulty.Terminals(), stream)
+					if perr != nil {
+						return nil, perr
+					}
+					cfg := opts.Sim
+					cfg.Seed = stream.Uint64()
+					res := simnet.New(faulty, ud, pat, cfg).Run(1.0)
+					acc.Add(res.AcceptedLoad)
+				}
+				s.Add(float64(faults), acc.Mean(), acc.StdDev())
+				if opts.Progress != nil {
+					opts.Progress(fmt.Sprintf("%s/%s faults=%d accepted=%.3f",
+						n.name, patName, faults, acc.Mean()))
+				}
+			}
+			series = append(series, s)
+		}
+	}
+	return seriesReport("Figure 12: max throughput under link faults (equal-resources scenario)",
+		[]string{fmt.Sprintf("scale=%s; offered load 1.0; faults up to ~13%% of wires", opts.Scale)},
+		"faulty links", "accepted load", series), nil
+}

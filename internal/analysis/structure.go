@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"fmt"
+
+	"rfclos/internal/core"
+	"rfclos/internal/graph"
+	"rfclos/internal/metrics"
+	"rfclos/internal/rng"
+	"rfclos/internal/routing"
+	"rfclos/internal/simnet"
+	"rfclos/internal/topology"
+	"rfclos/internal/traffic"
+)
+
+// StructureOptions configures the topological-metrics comparison.
+type StructureOptions struct {
+	// Target terminal count for sizing each topology (diameter-4 rules,
+	// same as Table 3). Default 1024.
+	Target int
+	// PairSamples is how many random leaf pairs to sample for distance
+	// and path-diversity statistics. Default 200.
+	PairSamples int
+	Seed        uint64
+}
+
+// Structure compares the diameter-4 networks on the structural metrics the
+// paper discusses outside the big exhibits: exact/sampled diameter, mean
+// leaf distance, empirical bisection (heuristic upper bound) against the
+// §4.2 Bollobás-style lower bounds, and path diversity (mean leaf-to-leaf
+// edge connectivity), which §7 ties to fault tolerance.
+func Structure(opts StructureOptions) (*Report, error) {
+	if opts.Target <= 0 {
+		opts.Target = 1024
+	}
+	if opts.PairSamples <= 0 {
+		opts.PairSamples = 200
+	}
+	r := newSeeded(opts.Seed)
+	rep := &Report{
+		Title: fmt.Sprintf("Structural comparison at diameter 4, T ≈ %d", opts.Target),
+		Notes: []string{
+			"sw-bisection = heuristic min cut over equal halves of *switches* (upper bound)",
+			"§4.2 bound = the paper's Bollobás-style lower bound on the *terminal-halving* cut;",
+			"  the two measure different partitions (only for the RRN are they directly comparable)",
+			"path diversity = mean max edge-disjoint leaf-to-leaf paths over sampled pairs",
+		},
+		Header: []string{"topology", "radix", "terminals", "leaf diameter", "mean leaf dist", "path diversity", "sw-bisection", "§4.2 bound"},
+	}
+
+	addClos := func(name string, c *topology.Clos, radix int, lb float64) {
+		g := c.SwitchGraph()
+		n1 := c.LevelSize(1)
+		diam, mean := leafDistanceStats(c, g, opts.PairSamples, r)
+		div := pathDiversity(g, n1, opts.PairSamples/4, r)
+		ub := g.BisectionUpperBound(3, r)
+		lbs := "-"
+		if lb > 0 {
+			lbs = fmt.Sprintf("%.0f", lb)
+		}
+		rep.AddRow(name, itoa(radix), itoa(c.Terminals()), itoa(diam),
+			fmt.Sprintf("%.2f", mean), fmt.Sprintf("%.2f", div), itoa(ub), lbs)
+	}
+
+	cftR := cftRadixFor(opts.Target, 3)
+	cft, err := topology.NewCFT(cftR, 3)
+	if err != nil {
+		return nil, err
+	}
+	addClos("CFT", cft, cftR, 0)
+
+	p := rfcParamsFor(opts.Target, 3)
+	rfc, _, _, err := core.GenerateRoutable(p, 50, r)
+	if err != nil {
+		return nil, err
+	}
+	addClos("RFC", rfc, p.Radix, core.BisectionLowerBoundRFC(p.Leaves, p.Radix, p.Levels))
+
+	if q, ok := oftOrderFor(opts.Target, 3); ok {
+		oft, err := topology.NewOFT(q, 3)
+		if err != nil {
+			return nil, err
+		}
+		addClos("OFT", oft, 2*(q+1), 0)
+	}
+
+	spec := rrnSpecFor(opts.Target, 4)
+	rrn, err := topology.NewRRN(spec.N, spec.Degree, spec.TermsPerSwitch, r)
+	if err != nil {
+		return nil, err
+	}
+	g := rrn.G
+	diam := g.DiameterSampled(8, r)
+	mean := g.AverageDistance(minInt(g.N(), 50), r)
+	div := pathDiversity(g, g.N(), opts.PairSamples/4, r)
+	ub := g.BisectionUpperBound(3, r)
+	rep.AddRow("RRN", itoa(spec.Radix()), itoa(rrn.Terminals()), itoa(diam),
+		fmt.Sprintf("%.2f", mean), fmt.Sprintf("%.2f", div), itoa(ub),
+		fmt.Sprintf("%.0f", core.BisectionLowerBoundRRN(g.N(), spec.Degree)))
+	// Expander certificate for the random baseline (§2/§4.2): |λ₂| vs the
+	// Ramanujan bound 2√(d−1).
+	lambda2 := g.SecondEigenvalue(300, r)
+	rep.Notes = append(rep.Notes, fmt.Sprintf(
+		"RRN spectral check: |λ₂| = %.3f vs Ramanujan bound %.3f (degree %d)",
+		lambda2, graph.RamanujanBound(spec.Degree), spec.Degree))
+	return rep, nil
+}
+
+// leafDistanceStats samples leaf pairs and returns the max and mean
+// switch-graph distance between leaves.
+func leafDistanceStats(c *topology.Clos, g *graph.Graph, samples int, r *rng.Rand) (int, float64) {
+	n1 := c.LevelSize(1)
+	scratch := make([]int32, g.N())
+	maxD, sum, count := 0, 0.0, 0
+	// BFS from a handful of random leaves, read distances to all leaves.
+	sources := minInt(n1, maxInt(4, samples/8))
+	for i := 0; i < sources; i++ {
+		src := c.SwitchID(1, r.Intn(n1))
+		dist := g.BFS(int(src), scratch)
+		for leaf := 0; leaf < n1; leaf++ {
+			d := int(dist[c.SwitchID(1, leaf)])
+			if d < 0 {
+				continue
+			}
+			if d > maxD {
+				maxD = d
+			}
+			if int32(leaf) != src {
+				sum += float64(d)
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return maxD, 0
+	}
+	return maxD, sum / float64(count)
+}
+
+// pathDiversity samples vertex pairs among the first n1 vertices (the
+// leaves for a Clos, everything for an RRN) and averages their edge
+// connectivity.
+func pathDiversity(g *graph.Graph, n1, samples int, r *rng.Rand) float64 {
+	if samples <= 0 {
+		samples = 20
+	}
+	sum, count := 0.0, 0
+	for i := 0; i < samples; i++ {
+		a, b := r.Intn(n1), r.Intn(n1)
+		if a == b {
+			continue
+		}
+		sum += float64(g.EdgeConnectivity(a, b))
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AdversarialOptions configures the adversarial-permutation experiment.
+type AdversarialOptions struct {
+	Scale Scale
+	Reps  int
+	Sim   simnet.Config
+	Seed  uint64
+}
+
+// Adversarial measures the §4.2/§3 claim that RFCs route adversarial
+// permutations at much better than 50% of full rate without Valiant
+// randomization: it drives the equal-resources CFT and RFC with the shift
+// permutation (every packet crosses the bisection) at full offered load and
+// reports accepted throughput next to the normalized-bisection prediction.
+func Adversarial(opts AdversarialOptions) (*Report, error) {
+	if opts.Scale == "" {
+		opts.Scale = ScaleSmall
+	}
+	if opts.Reps <= 0 {
+		opts.Reps = 2
+	}
+	sc := Scenarios(opts.Scale)[0]
+	master := newSeeded(opts.Seed + 5)
+	cft, err := sc.CFT.Build()
+	if err != nil {
+		return nil, err
+	}
+	rfc, rud, err := buildRoutableRFC(sc.RFC, master)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Title: fmt.Sprintf("Adversarial shift permutation at full load (%s equal-resources scenario)", opts.Scale),
+		Notes: []string{
+			"shift by T/2: every packet crosses the bisection",
+			fmt.Sprintf("§4.2 normalized bisection prediction for this RFC: %.2f",
+				core.NormalizedBisectionRFC(sc.RFC.Leaves, sc.RFC.Radix, sc.RFC.Levels)),
+			"a dragonfly with Valiant routing would cap at 0.50 (§3); simulated values include head-of-line losses",
+		},
+		Header: []string{"network", "accepted", "latency"},
+	}
+	for _, n := range []netUnderTest{
+		{fmt.Sprintf("CFT-R%d", sc.CFT.Radix), cft, routing.New(cft)},
+		{fmt.Sprintf("RFC-R%d", sc.RFC.Radix), rfc, rud},
+	} {
+		var acc, lat metrics.Summary
+		for i := 0; i < opts.Reps; i++ {
+			stream := master.Split()
+			cfg := opts.Sim
+			cfg.Seed = stream.Uint64()
+			res := simnet.New(n.c, n.ud, traffic.NewShift(n.c.Terminals(), 0), cfg).Run(1.0)
+			acc.Add(res.AcceptedLoad)
+			lat.Add(res.AvgLatency)
+		}
+		rep.AddRow(n.name, fmt.Sprintf("%.4f", acc.Mean()), fmt.Sprintf("%.1f", lat.Mean()))
+	}
+	return rep, nil
+}

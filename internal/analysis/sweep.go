@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"fmt"
+
+	"rfclos/internal/metrics"
+	"rfclos/internal/rng"
+	"rfclos/internal/routing"
+	"rfclos/internal/simnet"
+	"rfclos/internal/topology"
+	"rfclos/internal/traffic"
+)
+
+func newSeeded(seed uint64) *rng.Rand {
+	if seed == 0 {
+		seed = 1
+	}
+	return rng.New(seed)
+}
+
+// SimOptions controls the simulation-based experiments (Figures 8-10, 12).
+type SimOptions struct {
+	// Loads is the offered-load sweep (phits/node/cycle).
+	Loads []float64
+	// Reps is the number of independent repetitions averaged per point
+	// (the paper averages at least 5).
+	Reps int
+	// Sim carries the Table 2 parameters; zero fields take defaults.
+	Sim simnet.Config
+	// Patterns restricts the traffic patterns (default: all three).
+	Patterns []string
+	// Seed drives every random choice (topology generation aside).
+	Seed uint64
+	// Progress, when non-nil, receives one line per completed point.
+	Progress func(string)
+}
+
+func (o SimOptions) withDefaults() SimOptions {
+	if len(o.Loads) == 0 {
+		o.Loads = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	}
+	if o.Reps <= 0 {
+		o.Reps = 3
+	}
+	if len(o.Patterns) == 0 {
+		o.Patterns = traffic.Names()
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// netUnderTest couples a named network with its routing state.
+type netUnderTest struct {
+	name string
+	c    *topology.Clos
+	ud   *routing.UpDown
+}
+
+// LoadSweep measures latency and accepted throughput across offered loads
+// for one network and one traffic pattern. It returns one latency series
+// and one throughput series, each point averaged over opts.Reps runs with
+// distinct seeds (and distinct pattern instances for the fixed patterns).
+func LoadSweep(c *topology.Clos, ud *routing.UpDown, netName, patName string, opts SimOptions) (lat, thr metrics.Series, err error) {
+	opts = opts.withDefaults()
+	lat = metrics.Series{Name: netName + "/" + patName + "/latency"}
+	thr = metrics.Series{Name: netName + "/" + patName + "/throughput"}
+	master := newSeeded(opts.Seed)
+	for _, load := range opts.Loads {
+		var latSum, thrSum metrics.Summary
+		for rep := 0; rep < opts.Reps; rep++ {
+			stream := master.Split()
+			pat, perr := traffic.New(patName, c.Terminals(), stream)
+			if perr != nil {
+				return lat, thr, perr
+			}
+			cfg := opts.Sim
+			cfg.Seed = stream.Uint64()
+			res := simnet.New(c, ud, pat, cfg).Run(load)
+			latSum.Add(res.AvgLatency)
+			thrSum.Add(res.AcceptedLoad)
+		}
+		lat.Add(load, latSum.Mean(), latSum.StdDev())
+		thr.Add(load, thrSum.Mean(), thrSum.StdDev())
+		if opts.Progress != nil {
+			opts.Progress(fmt.Sprintf("%s/%s load=%.2f accepted=%.3f latency=%.1f",
+				netName, patName, load, thrSum.Mean(), latSum.Mean()))
+		}
+	}
+	return lat, thr, nil
+}
+
+// ScenarioSweep runs the full Figure 8/9/10 experiment for one scenario:
+// every network in the scenario × every traffic pattern × the load sweep.
+func ScenarioSweep(sc Scenario, opts SimOptions) (*Report, error) {
+	opts = opts.withDefaults()
+	master := newSeeded(opts.Seed + 1000)
+
+	var nets []netUnderTest
+	cft, err := sc.CFT.Build()
+	if err != nil {
+		return nil, err
+	}
+	nets = append(nets, netUnderTest{
+		fmt.Sprintf("CFT-%dL-R%d", sc.CFT.Levels, sc.CFT.Radix), cft, routing.New(cft)})
+	rfc, rud, err := buildRoutableRFC(sc.RFC, master)
+	if err != nil {
+		return nil, err
+	}
+	nets = append(nets, netUnderTest{
+		fmt.Sprintf("RFC-%dL-R%d", sc.RFC.Levels, sc.RFC.Radix), rfc, rud})
+	if sc.AltRFC != nil {
+		alt, aud, err := buildRoutableRFC(*sc.AltRFC, master)
+		if err != nil {
+			return nil, err
+		}
+		nets = append(nets, netUnderTest{
+			fmt.Sprintf("RFC-%dL-R%d", sc.AltRFC.Levels, sc.AltRFC.Radix), alt, aud})
+	}
+
+	var series []metrics.Series
+	for _, n := range nets {
+		for _, pat := range opts.Patterns {
+			lat, thr, err := LoadSweep(n.c, n.ud, n.name, pat, opts)
+			if err != nil {
+				return nil, err
+			}
+			series = append(series, thr, lat)
+		}
+	}
+	notes := []string{
+		fmt.Sprintf("scenario %s: CFT T=%d, RFC T=%d", sc.Name, sc.CFT.Terminals(), sc.RFC.Terminals()),
+		"throughput in accepted phits/node/cycle; latency in cycles (generation to tail delivery)",
+	}
+	return seriesReport("Figures 8-10: latency & throughput, scenario "+sc.Name,
+		notes, "offered load", "value", series), nil
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+
+	"rfclos/internal/rng"
+	"rfclos/internal/routing"
+	"rfclos/internal/topology"
+)
+
+// Expand applies `increments` minimal strong expansions (§5) to an RFC and
+// returns the expanded network along with the number of existing links that
+// were rewired. Each increment adds two switches to every level except the
+// top, one switch to the top level, and therefore R new compute nodes,
+// without touching the level count (the diameter is preserved — strong
+// expandability). The input network is not mutated.
+//
+// Wiring uses the random splice that keeps every existing switch's degree
+// intact: for a link (a, b) chosen uniformly among pre-increment links of a
+// level pair, (a, b) is removed and (a, newUpper) and (newLower, b) are
+// added. R splices per level pair fill the new switches to exactly R/2
+// up-links and R/2 down-links (R at the top), so each increment rewires
+// (l−1)·R existing links — e.g. five 36-radix increments on a 10K-terminal
+// 3-level RFC rewire 360 of ~20,000 links, the paper's 1.8%.
+func Expand(c *topology.Clos, increments int, r *rng.Rand) (*topology.Clos, int, error) {
+	if increments < 0 {
+		return nil, 0, fmt.Errorf("core: negative increments %d", increments)
+	}
+	l := c.Levels()
+	radix := c.Radix
+	half := radix / 2
+	if c.TermsPerLeaf != half {
+		return nil, 0, fmt.Errorf("core: Expand requires a radix-regular RFC (terminals %d != R/2)", c.TermsPerLeaf)
+	}
+	oldSizes := make([]int, l)
+	for i := 1; i <= l; i++ {
+		oldSizes[i-1] = c.LevelSize(i)
+	}
+	newSizes := make([]int, l)
+	for i := 0; i < l-1; i++ {
+		newSizes[i] = oldSizes[i] + 2*increments
+	}
+	newSizes[l-1] = oldSizes[l-1] + increments
+
+	out, err := topology.NewEmpty(newSizes, half, radix)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Copy existing wiring; (level, index) identities are preserved.
+	for _, link := range c.Links() {
+		la := c.LevelOf(link.A)
+		out.AddLink(out.SwitchID(la, c.IndexInLevel(link.A)),
+			out.SwitchID(la+1, c.IndexInLevel(link.B)))
+	}
+
+	rewired := 0
+	for k := 0; k < increments; k++ {
+		for i := 1; i < l; i++ {
+			// Pre-increment level populations.
+			preA := oldSizes[i-1] + 2*k
+			var preB, newBCount int
+			if i+1 < l {
+				preB = oldSizes[i] + 2*k
+				newBCount = 2
+			} else {
+				preB = oldSizes[i] + k
+				newBCount = 1
+			}
+			newA := [2]int32{out.SwitchID(i, preA), out.SwitchID(i, preA+1)}
+			newB := [2]int32{out.SwitchID(i+1, preB), 0}
+			if newBCount == 2 {
+				newB[1] = out.SwitchID(i+1, preB+1)
+			}
+			n, err := spliceLevelPair(out, i, preA, preB, newA, newB, newBCount, radix, r)
+			if err != nil {
+				return nil, rewired, err
+			}
+			rewired += n
+		}
+	}
+	if err := out.ValidateRadixRegular(); err != nil {
+		return nil, rewired, fmt.Errorf("core: expansion produced invalid network: %w", err)
+	}
+	return out, rewired, nil
+}
+
+// ExpandRoutable expands like Expand but additionally guarantees the
+// result keeps the up/down common-ancestor property, retrying the random
+// splicing up to maxAttempts times. Below the Theorem 4.2 threshold this
+// succeeds with the probability the theorem gives; at the threshold a few
+// attempts suffice, mirroring GenerateRoutable.
+func ExpandRoutable(c *topology.Clos, increments, maxAttempts int, r *rng.Rand) (*topology.Clos, *routing.UpDown, int, error) {
+	if maxAttempts <= 0 {
+		maxAttempts = 10
+	}
+	var lastErr error
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		out, rewired, err := Expand(c, increments, r)
+		if err != nil {
+			return nil, nil, rewired, err
+		}
+		ud := routing.New(out)
+		if ud.Routable() {
+			return out, ud, rewired, nil
+		}
+		lastErr = fmt.Errorf("%w: expansion attempt %d lost up/down routing", ErrNotRoutable, attempt)
+	}
+	return nil, nil, 0, lastErr
+}
+
+// spliceLevelPair performs the R splices wiring one increment's new
+// switches between levels i and i+1.
+func spliceLevelPair(out *topology.Clos, i, preA, preB int, newA, newB [2]int32, newBCount, radix int, r *rng.Rand) (int, error) {
+	rewired := 0
+	for s := 0; s < radix; s++ {
+		na := newA[s%2]
+		nb := newB[s%newBCount]
+		a, b, ok := pickOldLink(out, i, preA, preB, na, nb, r)
+		if !ok {
+			return rewired, fmt.Errorf("core: expansion stuck at level pair %d-%d (network too small?)", i, i+1)
+		}
+		out.RemoveLink(a, b)
+		out.AddLink(a, nb)
+		out.AddLink(na, b)
+		rewired++
+	}
+	return rewired, nil
+}
+
+// pickOldLink selects a uniform-ish random link (a, b) between pre-increment
+// switches of levels i and i+1 such that adding (a, nb) and (na, b) creates
+// no parallel links.
+func pickOldLink(out *topology.Clos, i, preA, preB int, na, nb int32, r *rng.Rand) (int32, int32, bool) {
+	suitable := func(a, b int32) bool {
+		if out.IndexInLevel(b) >= preB {
+			return false
+		}
+		return !hasLink(out, a, nb) && !hasLink(out, na, b)
+	}
+	for try := 0; try < 256; try++ {
+		a := out.SwitchID(i, r.Intn(preA))
+		ups := out.Up(a)
+		if len(ups) == 0 {
+			continue
+		}
+		b := ups[r.Intn(len(ups))]
+		if suitable(a, b) {
+			return a, b, true
+		}
+	}
+	// Deterministic fallback scan.
+	for ai := 0; ai < preA; ai++ {
+		a := out.SwitchID(i, ai)
+		for _, b := range out.Up(a) {
+			if suitable(a, b) {
+				return a, b, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+func hasLink(out *topology.Clos, a, b int32) bool {
+	for _, v := range out.Up(a) {
+		if v == b {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,82 @@
+package core
+
+import "fmt"
+
+// ExpansionStep is one row of an expansion schedule: the network state
+// after `Increment` minimal strong expansions, with the §5 cost accounting.
+type ExpansionStep struct {
+	Increment int // 0 = initial network
+	Leaves    int
+	Terminals int
+	Switches  int
+	Wires     int
+	// RewiredLinks is the number of existing links this increment
+	// re-plugs ((l-1)·R per increment; 0 for the initial row).
+	RewiredLinks int
+	// CumRewired accumulates RewiredLinks.
+	CumRewired int
+	// AtThreshold marks the step where the Theorem 4.2 limit is reached:
+	// beyond it the network must be weakly expanded (a level added).
+	AtThreshold bool
+}
+
+// PlanExpansion computes the §5 expansion schedule growing an RFC of the
+// given radix and level count from at least fromTerminals to at most
+// toTerminals, one minimal increment (R terminals) at a time, flagging
+// where the Theorem 4.2 threshold forces a weak expansion. It is purely
+// analytic — use Expand to actually rewire a network. Steps are coalesced
+// so the schedule has at most maxRows rows (plus the threshold row).
+func PlanExpansion(radix, levels, fromTerminals, toTerminals, maxRows int) ([]ExpansionStep, error) {
+	p := ParamsForTerminals(radix, levels, fromTerminals)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if toTerminals < p.Terminals() {
+		return nil, fmt.Errorf("core: target %d below initial %d", toTerminals, p.Terminals())
+	}
+	maxLeaves := MaxLeaves(radix, levels)
+	perIncrement := (levels - 1) * radix
+
+	totalIncrements := (toTerminals - p.Terminals() + radix - 1) / radix
+	if maxRows <= 0 {
+		maxRows = 20
+	}
+	stride := totalIncrements / maxRows
+	if stride < 1 {
+		stride = 1
+	}
+
+	var steps []ExpansionStep
+	add := func(inc int) {
+		leaves := p.Leaves + 2*inc
+		q := Params{Radix: radix, Levels: levels, Leaves: leaves}
+		prevCum := 0
+		if len(steps) > 0 {
+			prevCum = steps[len(steps)-1].CumRewired
+		}
+		steps = append(steps, ExpansionStep{
+			Increment:    inc,
+			Leaves:       leaves,
+			Terminals:    q.Terminals(),
+			Switches:     q.Switches(),
+			Wires:        q.Wires(),
+			RewiredLinks: perIncrement*inc - prevCum,
+			CumRewired:   perIncrement * inc,
+			AtThreshold:  leaves >= maxLeaves,
+		})
+	}
+	add(0)
+	thresholdFlagged := false
+	for inc := stride; inc <= totalIncrements; inc += stride {
+		add(inc)
+		if steps[len(steps)-1].AtThreshold {
+			thresholdFlagged = true
+			break
+		}
+	}
+	if !thresholdFlagged && p.Leaves+2*totalIncrements >= maxLeaves {
+		thresholdIncs := (maxLeaves - p.Leaves) / 2
+		add(thresholdIncs)
+	}
+	return steps, nil
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMaxLeavesBoundary(t *testing.T) {
+	// MaxLeaves is the largest even N1 with N1 ln N1 <= (R/2)^{2(l-1)}:
+	// the value itself satisfies the bound, N1+2 must not.
+	for _, tc := range []struct{ radix, levels int }{
+		{8, 2}, {12, 2}, {16, 3}, {36, 3}, {24, 4},
+	} {
+		n1 := MaxLeaves(tc.radix, tc.levels)
+		budget := math.Pow(float64(tc.radix)/2, 2*float64(tc.levels-1))
+		if v := float64(n1) * math.Log(float64(n1)); v > budget {
+			t.Errorf("R=%d l=%d: MaxLeaves %d violates its own bound (%v > %v)",
+				tc.radix, tc.levels, n1, v, budget)
+		}
+		next := float64(n1 + 2)
+		if v := next * math.Log(next); v <= budget {
+			t.Errorf("R=%d l=%d: MaxLeaves %d not maximal (%d also fits)",
+				tc.radix, tc.levels, n1, n1+2)
+		}
+		if n1%2 != 0 {
+			t.Errorf("MaxLeaves returned odd %d", n1)
+		}
+	}
+}
+
+func TestThresholdRadixInverse(t *testing.T) {
+	// ThresholdRadix and MaxLeaves are near-inverses: using the threshold
+	// radix (rounded up to even) for MaxLeaves' output recovers at least
+	// that leaf count.
+	for _, levels := range []int{2, 3, 4} {
+		for _, n1 := range []int{100, 1000, 5000} {
+			thr := ThresholdRadix(n1, levels)
+			radix := int(math.Ceil(thr))
+			if radix%2 != 0 {
+				radix++
+			}
+			if got := MaxLeaves(radix, levels); got < n1 {
+				t.Errorf("l=%d N1=%d: threshold radix %d only supports %d leaves",
+					levels, n1, radix, got)
+			}
+		}
+	}
+}
+
+func TestXParamSignAtThreshold(t *testing.T) {
+	// For radix well above the simplified threshold, x must be positive;
+	// well below, negative.
+	n1, levels := 1000, 3
+	thr := ThresholdRadix(n1, levels) // ≈ 2(1000 ln 1000)^(1/4)
+	above := 2 * (int(thr/2) + 3)
+	below := 2 * (int(thr/2) - 3)
+	if x := XParam(above, n1, levels); x <= 0 {
+		t.Errorf("x = %v for radix %v above threshold %v", x, above, thr)
+	}
+	if x := XParam(below, n1, levels); x >= 0 {
+		t.Errorf("x = %v for radix %v below threshold %v", x, below, thr)
+	}
+}
+
+func TestScalabilityFormulaConsistency(t *testing.T) {
+	// §4.3: T = (R/2)^{D+1} / ln N1 at the threshold. MaxTerminals should
+	// track this within a small factor (the formula drops lower-order
+	// terms).
+	for _, tc := range []struct{ radix, levels int }{{16, 3}, {36, 3}, {24, 4}} {
+		n1 := MaxLeaves(tc.radix, tc.levels)
+		d := 2 * (tc.levels - 1)
+		formula := math.Pow(float64(tc.radix)/2, float64(d+1)) / math.Log(float64(n1))
+		got := float64(MaxTerminals(tc.radix, tc.levels))
+		if got < formula*0.9 || got > formula*1.1 {
+			t.Errorf("R=%d l=%d: MaxTerminals %v vs formula %v", tc.radix, tc.levels, got, formula)
+		}
+	}
+}
+
+func TestRRNMaxSwitchesBoundary(t *testing.T) {
+	n := RRNMaxSwitches(10, 4)
+	if v := 2 * float64(n) * math.Log(float64(n)); v > 1e4 {
+		t.Errorf("RRNMaxSwitches(10,4) = %d violates 2N ln N <= 10^4 (%v)", n, v)
+	}
+	next := float64(n + 1)
+	if v := 2 * next * math.Log(next); v <= 1e4 {
+		t.Errorf("RRNMaxSwitches(10,4) = %d not maximal", n)
+	}
+}
+
+func TestBisectionBoundsPositive(t *testing.T) {
+	if BisectionLowerBoundRRN(100, 6) <= 0 {
+		t.Error("RRN bisection bound should be positive for degree 6")
+	}
+	if BisectionLowerBoundRFC(100, 16, 3) <= 0 {
+		t.Error("RFC bisection bound should be positive")
+	}
+	// Normalized bisection below 1 (these networks are not full-bisection)
+	// but comfortably above 1/2 (better than a dragonfly with Valiant,
+	// per the §3 discussion).
+	for _, levels := range []int{2, 3, 4} {
+		nb := NormalizedBisectionRFC(1000, 36, levels)
+		if nb <= 0.5 || nb >= 1 {
+			t.Errorf("l=%d: normalized bisection %v outside (0.5, 1)", levels, nb)
+		}
+	}
+}

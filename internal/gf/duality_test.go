@@ -1,0 +1,74 @@
+package gf
+
+import "testing"
+
+func TestPlaneLineDuality(t *testing.T) {
+	// The dual axiom: any two distinct lines meet in exactly one point.
+	for _, q := range []int{2, 3, 4, 5} {
+		pl, err := NewPlane(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onPoint := make([]map[int32]bool, pl.N)
+		for l := 0; l < pl.N; l++ {
+			onPoint[l] = make(map[int32]bool, q+1)
+			for _, p := range pl.LinePoints[l] {
+				onPoint[l][p] = true
+			}
+		}
+		for l1 := 0; l1 < pl.N; l1++ {
+			for l2 := l1 + 1; l2 < pl.N; l2++ {
+				shared := 0
+				for _, p := range pl.LinePoints[l1] {
+					if onPoint[l2][p] {
+						shared++
+					}
+				}
+				if shared != 1 {
+					t.Fatalf("q=%d: lines %d,%d share %d points, want 1", q, l1, l2, shared)
+				}
+			}
+		}
+	}
+}
+
+func TestFieldCharacteristic(t *testing.T) {
+	// Adding 1 to itself p times gives 0 (characteristic p).
+	for _, q := range []int{4, 8, 9, 25} {
+		f, err := NewField(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := 0
+		for i := 0; i < f.P; i++ {
+			acc = f.Add(acc, 1)
+		}
+		if acc != 0 {
+			t.Errorf("GF(%d): 1 added %d times = %d, want 0", q, f.P, acc)
+		}
+	}
+}
+
+func TestFrobeniusFixedField(t *testing.T) {
+	// x -> x^p is an automorphism; its fixed points form the prime
+	// subfield, so exactly p elements satisfy x^p = x.
+	for _, q := range []int{4, 9, 8, 27} {
+		f, err := NewField(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixed := 0
+		for a := 0; a < q; a++ {
+			x := a
+			for i := 1; i < f.P; i++ {
+				x = f.Mul(x, a)
+			}
+			if x == a {
+				fixed++
+			}
+		}
+		if fixed != f.P {
+			t.Errorf("GF(%d): %d Frobenius fixed points, want %d", q, fixed, f.P)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package gf
+
+import "fmt"
+
+// Plane is the projective plane PG(2, q): N = q²+q+1 points and N lines,
+// each line containing q+1 points and each point lying on q+1 lines, such
+// that any two distinct points share exactly one line and any two distinct
+// lines meet in exactly one point. The OFT of order q wires its switch
+// levels by this incidence.
+type Plane struct {
+	Q, N int
+	// PointLines[p] lists the q+1 lines through point p.
+	PointLines [][]int32
+	// LinePoints[l] lists the q+1 points on line l.
+	LinePoints [][]int32
+}
+
+// NewPlane builds PG(2, q) for a prime power q.
+func NewPlane(q int) (*Plane, error) {
+	f, err := NewField(q)
+	if err != nil {
+		return nil, fmt.Errorf("gf: plane of order %d: %w", q, err)
+	}
+	n := q*q + q + 1
+	// Canonical homogeneous coordinates: (1, a, b), (0, 1, a), (0, 0, 1).
+	points := make([][3]int, 0, n)
+	for a := 0; a < q; a++ {
+		for b := 0; b < q; b++ {
+			points = append(points, [3]int{1, a, b})
+		}
+	}
+	for a := 0; a < q; a++ {
+		points = append(points, [3]int{0, 1, a})
+	}
+	points = append(points, [3]int{0, 0, 1})
+
+	pl := &Plane{
+		Q:          q,
+		N:          n,
+		PointLines: make([][]int32, n),
+		LinePoints: make([][]int32, n),
+	}
+	// Lines use the same canonical coordinates; point p is on line l iff
+	// the dot product of their coordinate vectors is zero.
+	for l := 0; l < n; l++ {
+		lc := points[l]
+		for p := 0; p < n; p++ {
+			pc := points[p]
+			dot := f.Add(f.Add(f.Mul(lc[0], pc[0]), f.Mul(lc[1], pc[1])), f.Mul(lc[2], pc[2]))
+			if dot == 0 {
+				pl.LinePoints[l] = append(pl.LinePoints[l], int32(p))
+				pl.PointLines[p] = append(pl.PointLines[p], int32(l))
+			}
+		}
+	}
+	return pl, nil
+}
+
+// Validate checks the projective plane axioms. It is used by tests and by
+// callers that construct planes of new orders.
+func (pl *Plane) Validate() error {
+	q, n := pl.Q, pl.N
+	if n != q*q+q+1 {
+		return fmt.Errorf("gf: plane size %d != q²+q+1", n)
+	}
+	for l, pts := range pl.LinePoints {
+		if len(pts) != q+1 {
+			return fmt.Errorf("gf: line %d has %d points, want %d", l, len(pts), q+1)
+		}
+	}
+	for p, ls := range pl.PointLines {
+		if len(ls) != q+1 {
+			return fmt.Errorf("gf: point %d lies on %d lines, want %d", p, len(ls), q+1)
+		}
+	}
+	// Any two distinct points share exactly one line.
+	onLine := make([]map[int32]bool, n)
+	for p := range onLine {
+		onLine[p] = make(map[int32]bool, q+1)
+		for _, l := range pl.PointLines[p] {
+			onLine[p][l] = true
+		}
+	}
+	for p1 := 0; p1 < n; p1++ {
+		for p2 := p1 + 1; p2 < n; p2++ {
+			shared := 0
+			for _, l := range pl.PointLines[p1] {
+				if onLine[p2][l] {
+					shared++
+				}
+			}
+			if shared != 1 {
+				return fmt.Errorf("gf: points %d,%d share %d lines, want 1", p1, p2, shared)
+			}
+		}
+	}
+	return nil
+}

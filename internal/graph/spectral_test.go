@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"rfclos/internal/rng"
+)
+
+func TestSecondEigenvalueKnownGraphs(t *testing.T) {
+	r := rng.New(1)
+	// Complete graph K_n: spectrum {n-1, -1^(n-1)} → |λ₂| = 1.
+	if got := completeGraph(10).SecondEigenvalue(300, r); math.Abs(got-1) > 0.01 {
+		t.Errorf("K10 |λ₂| = %v, want 1", got)
+	}
+	// Even cycle C12 is bipartite: −2 is an eigenvalue, so |λ₂| = 2.
+	if got := cycleGraph(12).SecondEigenvalue(600, r); math.Abs(got-2) > 0.02 {
+		t.Errorf("C12 |λ₂| = %v, want 2 (bipartite)", got)
+	}
+	// Odd cycle C_n: eigenvalues 2cos(2πk/n); the largest in magnitude
+	// besides the Perron value is |2cos(π(n−1)/n)| = 2cos(π/n).
+	n := 13
+	want := 2 * math.Cos(math.Pi/float64(n))
+	if got := cycleGraph(n).SecondEigenvalue(800, r); math.Abs(got-want) > 0.02 {
+		t.Errorf("C13 |λ₂| = %v, want %v", got, want)
+	}
+	// Petersen graph: spectrum {3, 1^5, -2^4} → |λ₂| = 2.
+	if got := petersen().SecondEigenvalue(400, r); math.Abs(got-2) > 0.02 {
+		t.Errorf("Petersen |λ₂| = %v, want 2", got)
+	}
+	// Complete bipartite K_{4,4}: spectrum {±4, 0^6} → |λ₂| = 4 (it is
+	// bipartite, so -d is an eigenvalue; expansion in the |λ₂| sense is
+	// nil, matching its 2-colorable structure).
+	kb := New(8)
+	for i := 0; i < 4; i++ {
+		for j := 4; j < 8; j++ {
+			kb.AddEdge(i, j)
+		}
+	}
+	if got := kb.SecondEigenvalue(400, r); math.Abs(got-4) > 0.05 {
+		t.Errorf("K4,4 |λ₂| = %v, want 4", got)
+	}
+}
+
+func TestRandomRegularNearRamanujan(t *testing.T) {
+	// §2/§4.2: random regular graphs are excellent expanders; |λ₂| should
+	// land near (and usually below ~1.15×) the Ramanujan bound 2√(d−1).
+	r := rng.New(2)
+	for _, d := range []int{4, 6, 8} {
+		g, err := RandomRegular(200, d, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := g.SecondEigenvalue(300, r)
+		bound := RamanujanBound(d)
+		if got > bound*1.2 {
+			t.Errorf("d=%d: |λ₂| = %v far above Ramanujan bound %v", d, got, bound)
+		}
+		if got < bound*0.6 {
+			t.Errorf("d=%d: |λ₂| = %v implausibly small (bound %v)", d, got, bound)
+		}
+		if got >= float64(d) {
+			t.Errorf("d=%d: |λ₂| = %v not separated from d", d, got)
+		}
+	}
+}
+
+func TestRamanujanBound(t *testing.T) {
+	if RamanujanBound(3) != 2*math.Sqrt2 {
+		t.Error("RamanujanBound(3) wrong")
+	}
+	if RamanujanBound(0) != 0 {
+		t.Error("degenerate bound should be 0")
+	}
+}

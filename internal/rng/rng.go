@@ -1,0 +1,153 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used by every randomised construction and simulation in this
+// repository. Determinism matters here: a topology, a traffic trace and a
+// whole simulation must be exactly reproducible from a single seed so that
+// experiments in EXPERIMENTS.md can be re-run bit-for-bit.
+//
+// The generator is xoshiro256**, seeded through splitmix64 as its authors
+// recommend. Independent sub-streams for concurrent or structurally separate
+// uses (e.g. one stream per simulated switch) are derived with Split.
+package rng
+
+import "math"
+
+// Rand is a xoshiro256** pseudo-random number generator. The zero value is
+// not usable; construct with New.
+type Rand struct {
+	s [4]uint64
+}
+
+// splitmix64 advances *x and returns the next splitmix64 output. It is used
+// only to expand seeds into full generator state.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator deterministically derived from seed.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	x := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
+	}
+	// xoshiro256** state must not be all zero; splitmix64 guarantees this
+	// is astronomically unlikely, but make it impossible anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Split derives an independent child generator. The child's stream is a
+// function of the parent's current state, and the parent is advanced, so
+// successive Splits give distinct streams.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64() ^ 0xa0761d6478bd642f)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Uint64n returns a uniform value in [0, n). n must be > 0.
+// Uses Lemire's multiply-shift rejection method.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// Lemire rejection sampling on the high 64 bits of a 128-bit product.
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, n)
+		if lo >= n || lo >= (-n)%n {
+			return hi
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t&mask32 + x0*y1
+	hi = x1*y1 + t>>32 + w1>>32
+	lo = x * y
+	return
+}
+
+// Intn returns a uniform int in [0, n). n must be > 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Bool returns a uniformly random boolean.
+func (r *Rand) Bool() bool { return r.Uint64()&1 == 1 }
+
+// Exp returns an exponentially distributed float64 with rate 1, by
+// inversion. Used for randomised injection processes.
+func (r *Rand) Exp() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n) as a slice.
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts performs an in-place Fisher–Yates shuffle of p.
+func (r *Rand) ShuffleInts(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Shuffle performs an in-place Fisher–Yates shuffle of n elements using the
+// provided swap function, mirroring math/rand.Shuffle.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

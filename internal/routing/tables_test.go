@@ -1,0 +1,191 @@
+package routing
+
+import (
+	"testing"
+
+	"rfclos/internal/rng"
+	"rfclos/internal/topology"
+)
+
+func TestBuildTablesCFT(t *testing.T) {
+	c, err := topology.NewCFT(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud := New(c)
+	tables := ud.BuildTables()
+	if len(tables) != c.NumSwitches() {
+		t.Fatalf("got %d tables, want %d", len(tables), c.NumSwitches())
+	}
+	n1 := c.LevelSize(1)
+	// Leaf switches: own leaf ejects, every other leaf goes up through
+	// both roots (full ECMP in a 2-level CFT).
+	for leaf := 0; leaf < n1; leaf++ {
+		ft := tables[c.SwitchID(1, leaf)]
+		for d := 0; d < n1; d++ {
+			e := ft.Entries[d]
+			if d == leaf {
+				if e.Class != PortEject {
+					t.Fatalf("leaf %d dest %d: class %v, want eject", leaf, d, e.Class)
+				}
+				continue
+			}
+			if e.Class != PortUp || len(e.Ports) != 2 {
+				t.Fatalf("leaf %d dest %d: %v ports %v, want 2 up ports", leaf, d, e.Class, e.Ports)
+			}
+		}
+	}
+	// Roots: every destination reachable down through exactly one child.
+	for i := 0; i < c.LevelSize(2); i++ {
+		ft := tables[c.SwitchID(2, i)]
+		for d := 0; d < n1; d++ {
+			e := ft.Entries[d]
+			if e.Class != PortDown || len(e.Ports) != 1 {
+				t.Fatalf("root %d dest %d: %v ports %v, want 1 down port", i, d, e.Class, e.Ports)
+			}
+		}
+	}
+	st := ud.Stats(tables)
+	if st.UnreachableEntries != 0 {
+		t.Errorf("unreachable entries on a pristine CFT: %d", st.UnreachableEntries)
+	}
+	if st.TotalEntries != c.NumSwitches()*n1 {
+		t.Errorf("entries = %d, want %d", st.TotalEntries, c.NumSwitches()*n1)
+	}
+	if st.CoverBytes <= 0 || st.ApproxBytes <= 0 {
+		t.Error("size accounting missing")
+	}
+}
+
+func TestTablesMatchHopDecisions(t *testing.T) {
+	// The explicit tables and the live NextUp/NextDown decisions must
+	// agree: every port the router can pick appears in the table entry.
+	r := rng.New(41)
+	c, err := buildRandomRFC(8, 3, 16, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud := New(c)
+	tables := ud.BuildTables()
+	for trial := 0; trial < 300; trial++ {
+		sw := int32(r.Intn(c.NumSwitches()))
+		d := r.Intn(16)
+		e := tables[sw].Entries[d]
+		switch e.Class {
+		case PortEject:
+			// own leaf
+		case PortDown:
+			port := ud.NextDownPort(sw, d, r)
+			if port < 0 {
+				if len(e.Ports) != 0 {
+					t.Fatalf("table has down ports but router found none (sw %d dst %d)", sw, d)
+				}
+				continue
+			}
+			if !containsPort(e.Ports, port) {
+				t.Fatalf("router picked down port %d not in table %v (sw %d dst %d)", port, e.Ports, sw, d)
+			}
+		case PortUp:
+			if len(e.Ports) == 0 {
+				continue // unreachable pair below threshold
+			}
+			// Determine the remaining budget like the table builder does.
+			rem := -1
+			for rr := 1; rr < len(ud.cover); rr++ {
+				if cov := ud.cover[rr][sw]; cov != nil && cov.Get(d) {
+					rem = rr
+					break
+				}
+			}
+			port := ud.NextUpPort(sw, rem, d, r)
+			if port < 0 || !containsPort(e.Ports, port) {
+				t.Fatalf("router picked up port %d not in table %v (sw %d dst %d)", port, e.Ports, sw, d)
+			}
+		}
+	}
+}
+
+func containsPort(ports []uint8, p int) bool {
+	for _, v := range ports {
+		if int(v) == p {
+			return true
+		}
+	}
+	return false
+}
+
+func TestTablesUnderFaults(t *testing.T) {
+	c, err := topology.NewCFT(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud := New(c)
+	leaf0 := c.SwitchID(1, 0)
+	for _, up := range append([]int32(nil), c.Up(leaf0)...) {
+		c.RemoveLink(leaf0, up)
+	}
+	ud.Rebuild()
+	st := ud.Stats(ud.BuildTables())
+	if st.UnreachableEntries == 0 {
+		t.Error("expected unreachable entries after isolating a leaf")
+	}
+}
+
+func TestHashPortSelectors(t *testing.T) {
+	c, err := topology.NewCFT(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud := New(c)
+	r := rng.New(51)
+	for trial := 0; trial < 200; trial++ {
+		src := int32(r.Intn(c.LevelSize(1)))
+		dst := r.Intn(c.LevelSize(1))
+		if int(src) == dst {
+			continue
+		}
+		rem := ud.MinTurn(int(src), dst)
+		if rem <= 0 {
+			continue
+		}
+		key := uint32(r.Uint64())
+		// Deterministic: same key, same answer.
+		a := ud.NextUpPortHash(src, rem, dst, key)
+		b := ud.NextUpPortHash(src, rem, dst, key)
+		if a != b {
+			t.Fatalf("hash selector not deterministic: %d vs %d", a, b)
+		}
+		if a < 0 {
+			t.Fatalf("hash selector found no port where MinTurn = %d", rem)
+		}
+		// The chosen port must also be acceptable to the random selector's
+		// candidate set: verify via cover membership.
+		p := c.Up(src)[a]
+		if !ud.cover[rem-1][p].Get(dst) {
+			t.Fatalf("hash selector picked non-qualifying port %d", a)
+		}
+	}
+	// Down side: at a root of a 2-level CFT both selectors agree on the
+	// unique child.
+	c2, _ := topology.NewCFT(4, 2)
+	ud2 := New(c2)
+	root := c2.SwitchID(2, 0)
+	for d := 0; d < c2.LevelSize(1); d++ {
+		h := ud2.NextDownPortHash(root, d, 12345)
+		rr := ud2.NextDownPort(root, d, r)
+		if h != rr {
+			t.Fatalf("unique down port disagreement: hash %d vs random %d", h, rr)
+		}
+	}
+	// Different keys spread across candidates.
+	seen := map[int]bool{}
+	src := int32(0)
+	dst := c.LevelSize(1) - 1
+	rem := ud.MinTurn(0, dst)
+	for key := uint32(0); key < 64; key++ {
+		seen[ud.NextUpPortHash(src, rem, dst, key)] = true
+	}
+	if len(seen) < 2 {
+		t.Error("hash selector never varied with the key")
+	}
+}

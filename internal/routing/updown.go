@@ -1,0 +1,332 @@
+package routing
+
+import (
+	"rfclos/internal/rng"
+	"rfclos/internal/topology"
+)
+
+// UpDown is the up/down ECMP routing state of a folded Clos network. It
+// implements exactly the paper's "shortest injection, up/down random
+// request" scheme: a packet for leaf d first computes the minimal number of
+// up hops r such that an ancestor of d is reachable (shortest up/down path,
+// length 2r), then at each up hop picks uniformly among parents that still
+// lead to such an ancestor, turns, and descends picking uniformly among
+// children below which d lies. Routes consist of up hops followed by down
+// hops only, so the channel dependency graph is acyclic and the routing is
+// deadlock-free without virtual-channel ordering (§4.1).
+//
+// The state is two families of leaf-bitsets:
+//
+//	desc(s)   = leaves below switch s (cover_0)
+//	cover_r(s) = ∪_{p parent of s} cover_{r-1}(p)
+//
+// cover_r(s) is the set of leaves reachable from s by exactly r up hops
+// followed by downs. All sets are rebuilt from the (possibly faulted)
+// topology by Rebuild.
+type UpDown struct {
+	c *topology.Clos
+	// cover[r][s]; cover[0] is desc. cover[r][s] is nil for switches whose
+	// level exceeds l-r (they cannot take r up hops).
+	cover [][]Bitset
+	n1    int
+}
+
+// New builds routing state for c. Call Rebuild after mutating the topology
+// (e.g. removing links).
+func New(c *topology.Clos) *UpDown {
+	u := &UpDown{c: c, n1: c.LevelSize(1)}
+	u.Rebuild()
+	return u
+}
+
+// Clos returns the topology this router routes on.
+func (u *UpDown) Clos() *topology.Clos { return u.c }
+
+// Rebuild recomputes every descendant and cover set from the topology.
+func (u *UpDown) Rebuild() {
+	c := u.c
+	l := c.Levels()
+	total := c.NumSwitches()
+	u.cover = make([][]Bitset, l)
+
+	// cover_0 = descendant sets, computed level by level bottom-up.
+	desc := make([]Bitset, total)
+	for i := 0; i < u.n1; i++ {
+		s := c.SwitchID(1, i)
+		desc[s] = NewBitset(u.n1)
+		desc[s].Set(i)
+	}
+	for lev := 2; lev <= l; lev++ {
+		for i := 0; i < c.LevelSize(lev); i++ {
+			s := c.SwitchID(lev, i)
+			d := NewBitset(u.n1)
+			for _, ch := range c.Down(s) {
+				d.Or(desc[ch])
+			}
+			desc[s] = d
+		}
+	}
+	u.cover[0] = desc
+
+	// cover_r for r = 1..l-1, only for switches at levels 1..l-r.
+	for r := 1; r < l; r++ {
+		cov := make([]Bitset, total)
+		prev := u.cover[r-1]
+		for lev := 1; lev <= l-r; lev++ {
+			for i := 0; i < c.LevelSize(lev); i++ {
+				s := c.SwitchID(lev, i)
+				b := NewBitset(u.n1)
+				for _, p := range c.Up(s) {
+					if prev[p] != nil {
+						b.Or(prev[p])
+					}
+				}
+				cov[s] = b
+			}
+		}
+		u.cover[r] = cov
+	}
+}
+
+// MinTurn returns the minimal number of up hops r >= 0 such that an up/down
+// path of length 2r exists from leaf index src to leaf index dst, or -1 when
+// no up/down path exists (possible only under faults or sub-threshold
+// radices). src == dst returns 0.
+func (u *UpDown) MinTurn(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	s := u.c.SwitchID(1, src)
+	for r := 1; r < len(u.cover); r++ {
+		if cov := u.cover[r][s]; cov != nil && cov.Get(dst) {
+			return r
+		}
+	}
+	return -1
+}
+
+// NextUp picks uniformly at random a parent of s that still reaches leaf dst
+// within rem-1 further up hops (rem >= 1 is the remaining up-hop budget).
+// It returns -1 when no such parent exists, which cannot happen when rem was
+// derived from MinTurn on an unchanged topology.
+func (u *UpDown) NextUp(s int32, rem int, dst int, r *rng.Rand) int32 {
+	prev := u.cover[rem-1]
+	// Reservoir-sample uniformly among qualifying parents without
+	// allocating.
+	chosen := int32(-1)
+	count := 0
+	for _, p := range u.c.Up(s) {
+		if cov := prev[p]; cov != nil && cov.Get(dst) {
+			count++
+			if count == 1 || r.Intn(count) == 0 {
+				chosen = p
+			}
+		}
+	}
+	return chosen
+}
+
+// NextDown picks uniformly at random a child of s whose descendants include
+// leaf dst, or -1 when none exists.
+func (u *UpDown) NextDown(s int32, dst int, r *rng.Rand) int32 {
+	desc := u.cover[0]
+	chosen := int32(-1)
+	count := 0
+	for _, ch := range u.c.Down(s) {
+		if desc[ch].Get(dst) {
+			count++
+			if count == 1 || r.Intn(count) == 0 {
+				chosen = ch
+			}
+		}
+	}
+	return chosen
+}
+
+// NextUpPort is NextUp but returns the index into Clos.Up(s) of the chosen
+// parent instead of its switch id, for callers (the simulator) that key
+// channels by port index. Returns -1 when no parent qualifies.
+func (u *UpDown) NextUpPort(s int32, rem int, dst int, r *rng.Rand) int {
+	prev := u.cover[rem-1]
+	chosen := -1
+	count := 0
+	for i, p := range u.c.Up(s) {
+		if cov := prev[p]; cov != nil && cov.Get(dst) {
+			count++
+			if count == 1 || r.Intn(count) == 0 {
+				chosen = i
+			}
+		}
+	}
+	return chosen
+}
+
+// NextUpPortHash is the deterministic counterpart of NextUpPort: among the
+// qualifying parents it picks the one indexed by key modulo the candidate
+// count. Real fat-tree deployments often use such D-mod-K style hashing of
+// the flow identifier instead of per-packet randomisation; the simulator
+// exposes both policies.
+func (u *UpDown) NextUpPortHash(s int32, rem int, dst int, key uint32) int {
+	prev := u.cover[rem-1]
+	count := 0
+	for _, p := range u.c.Up(s) {
+		if cov := prev[p]; cov != nil && cov.Get(dst) {
+			count++
+		}
+	}
+	if count == 0 {
+		return -1
+	}
+	want := int(key % uint32(count))
+	idx := 0
+	for i, p := range u.c.Up(s) {
+		if cov := prev[p]; cov != nil && cov.Get(dst) {
+			if idx == want {
+				return i
+			}
+			idx++
+		}
+	}
+	return -1
+}
+
+// NextDownPortHash deterministically picks among the children leading to
+// dst, keyed like NextUpPortHash.
+func (u *UpDown) NextDownPortHash(s int32, dst int, key uint32) int {
+	desc := u.cover[0]
+	count := 0
+	for _, ch := range u.c.Down(s) {
+		if desc[ch].Get(dst) {
+			count++
+		}
+	}
+	if count == 0 {
+		return -1
+	}
+	want := int(key % uint32(count))
+	idx := 0
+	for i, ch := range u.c.Down(s) {
+		if desc[ch].Get(dst) {
+			if idx == want {
+				return i
+			}
+			idx++
+		}
+	}
+	return -1
+}
+
+// NextDownPort is NextDown returning the index into Clos.Down(s), or -1.
+func (u *UpDown) NextDownPort(s int32, dst int, r *rng.Rand) int {
+	desc := u.cover[0]
+	chosen := -1
+	count := 0
+	for i, ch := range u.c.Down(s) {
+		if desc[ch].Get(dst) {
+			count++
+			if count == 1 || r.Intn(count) == 0 {
+				chosen = i
+			}
+		}
+	}
+	return chosen
+}
+
+// Descendants returns the descendant leaf bitset of switch s (do not
+// modify).
+func (u *UpDown) Descendants(s int32) Bitset { return u.cover[0][s] }
+
+// Routable reports whether every ordered pair of distinct leaves has an
+// up/down path, i.e. whether the network still has the common-ancestor
+// property of Theorem 4.2.
+func (u *UpDown) Routable() bool {
+	return u.UnroutablePairs(1) == 0
+}
+
+// UnroutablePairs counts unordered leaf pairs with no up/down path, giving
+// up early once limit pairs are found (limit <= 0 means count all).
+func (u *UpDown) UnroutablePairs(limit int) int {
+	acc := NewBitset(u.n1)
+	found := 0
+	for i := 0; i < u.n1; i++ {
+		s := u.c.SwitchID(1, i)
+		acc.Clear()
+		for r := 1; r < len(u.cover); r++ {
+			if cov := u.cover[r][s]; cov != nil {
+				acc.Or(cov)
+			}
+		}
+		acc.Set(i)
+		if acc.Full(u.n1) {
+			continue
+		}
+		// Count missing leaves with index > i so each pair counts once.
+		for j := i + 1; j < u.n1; j++ {
+			if !acc.Get(j) {
+				found++
+				if limit > 0 && found >= limit {
+					return found
+				}
+			}
+		}
+	}
+	return found
+}
+
+// Path materialises one random shortest up/down path between leaf indices
+// src and dst as a switch-id sequence, or nil when unroutable. Used by tests
+// and the CLI; the simulator routes hop by hop instead.
+func (u *UpDown) Path(src, dst int, r *rng.Rand) []int32 {
+	if r == nil {
+		r = rng.New(1)
+	}
+	turn := u.MinTurn(src, dst)
+	if turn < 0 {
+		return nil
+	}
+	cur := u.c.SwitchID(1, src)
+	path := []int32{cur}
+	for rem := turn; rem > 0; rem-- {
+		cur = u.NextUp(cur, rem, dst, r)
+		if cur < 0 {
+			return nil
+		}
+		path = append(path, cur)
+	}
+	for u.c.LevelOf(cur) > 1 {
+		cur = u.NextDown(cur, dst, r)
+		if cur < 0 {
+			return nil
+		}
+		path = append(path, cur)
+	}
+	return path
+}
+
+// AverageShortestUpDown computes the mean up/down shortest path length (in
+// switch hops, 2*MinTurn) over sampled leaf pairs. Pairs without a path are
+// skipped; the second return value is the routable fraction of sampled
+// pairs.
+func (u *UpDown) AverageShortestUpDown(samples int, r *rng.Rand) (mean float64, routable float64) {
+	if r == nil {
+		r = rng.New(1)
+	}
+	total, ok, attempted := 0.0, 0, 0
+	for i := 0; i < samples; i++ {
+		a, b := r.Intn(u.n1), r.Intn(u.n1)
+		if a == b {
+			continue
+		}
+		attempted++
+		t := u.MinTurn(a, b)
+		if t < 0 {
+			continue
+		}
+		total += float64(2 * t)
+		ok++
+	}
+	if ok == 0 {
+		return 0, 0
+	}
+	return total / float64(ok), float64(ok) / float64(attempted)
+}

@@ -1,0 +1,182 @@
+// Package simnet is a cycle-driven, packet-granularity virtual cut-through
+// network simulator reproducing the INSEE configuration of Table 2: 4
+// virtual channels, 4-packet buffers per VC, 16-phit packets, 1-cycle
+// links, random output arbitration with one iteration per cycle, shortest
+// injection and random up/down request routing, a warm-up phase followed by
+// a measured window.
+//
+// Modelling notes (see DESIGN.md §2 "Substitutions"):
+//
+//   - Packets, not phits, are the simulated unit. A packet transfer holds
+//     its link for PacketLength cycles and its header becomes routable at
+//     the next switch after LinkLatency cycles (cut-through), so latency
+//     and throughput match a phit-level VCT simulation while running an
+//     order of magnitude faster.
+//   - Virtual-channel buffer space is tracked as an occupancy count per
+//     (channel, VC): a slot is reserved when a packet is dispatched into it
+//     and released when the packet's tail leaves it, i.e. credits with
+//     zero-latency return, as in functional-mode INSEE.
+//   - Up/down routing needs no VCs for deadlock freedom; the 4 VCs reduce
+//     head-of-line blocking exactly as in the paper.
+package simnet
+
+// Config carries the Table 2 simulation parameters.
+type Config struct {
+	// VCs is the number of virtual channels per link (Table 2: 4).
+	VCs int
+	// BufferPackets is the per-VC input buffer capacity in packets
+	// (Table 2: 4).
+	BufferPackets int
+	// PacketLength is the packet size in phits (Table 2: 16).
+	PacketLength int
+	// LinkLatency is the header hop latency in cycles (Table 2: 1).
+	LinkLatency int
+	// WarmupCycles precede the measurement window.
+	WarmupCycles int
+	// MeasureCycles is the statistics window (Table 2: 10,000).
+	MeasureCycles int
+	// SourceQueueCap bounds each terminal's injection queue in packets;
+	// packets generated while the queue is full are counted as dropped at
+	// the source (offered but not accepted).
+	SourceQueueCap int
+	// RequestRefresh is how many cycles a blocked head packet keeps its
+	// randomly chosen output request before re-randomizing it. 1
+	// re-randomizes every cycle as INSEE does; larger values trade a
+	// little adaptivity for speed.
+	RequestRefresh int
+	// HashRouting selects the deterministic D-mod-K-style ECMP policy:
+	// every hop choice is keyed by the packet's (src, dst) flow hash
+	// instead of re-randomised per cycle (the Table 2 "up/down random"
+	// request mode, the default). Deterministic hashing pins each flow to
+	// one path, which concentrates collisions — the ablation quantifies
+	// the cost.
+	HashRouting bool
+	// InfiniteSink, when true, removes the one-phit-per-cycle ejection
+	// bandwidth limit at each terminal: packets reaching their destination
+	// leaf are consumed immediately regardless of how many arrive at once.
+	// The default (false) models a NIC that drains one phit per cycle,
+	// symmetric with injection. The choice only matters for hot-spot
+	// patterns such as fixed-random, where reception contention caps
+	// throughput; INSEE's reception model is not specified in Table 2, so
+	// the harness reports fixed-random under both models.
+	InfiniteSink bool
+	// SampleInterval, when positive, records a Timeline sample every that
+	// many cycles (warm-up included): generated/delivered packet rates and
+	// mean latency over the interval. Use it to verify the warm-up is long
+	// enough for the statistic of interest.
+	SampleInterval int
+	// AutoWarmup, when true, extends the warm-up beyond WarmupCycles until
+	// the delivery rate stabilises: consecutive windows of WarmupCycles/2
+	// cycles must agree within 5% (or a hard cap of 8× WarmupCycles is
+	// hit) before measurement starts. The Result's MeasuredCycles is
+	// unchanged; the extra cycles only delay the window.
+	AutoWarmup bool
+	// Seed makes the whole simulation reproducible.
+	Seed uint64
+}
+
+// TimePoint is one Timeline sample covering the interval ending at Cycle.
+type TimePoint struct {
+	Cycle     int
+	Generated int
+	Delivered int
+	// AvgLatency is the mean latency of packets delivered in the interval
+	// (0 when none).
+	AvgLatency float64
+	// InFlight is the packet population at the sample instant.
+	InFlight int
+}
+
+// DefaultConfig returns the Table 2 parameters with a 2,000-cycle warm-up.
+func DefaultConfig() Config {
+	return Config{
+		VCs:            4,
+		BufferPackets:  4,
+		PacketLength:   16,
+		LinkLatency:    1,
+		WarmupCycles:   2000,
+		MeasureCycles:  10000,
+		SourceQueueCap: 16,
+		RequestRefresh: 4,
+		Seed:           1,
+	}
+}
+
+// validate fills zero fields with defaults so a partially specified Config
+// is usable.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.VCs <= 0 {
+		c.VCs = d.VCs
+	}
+	if c.BufferPackets <= 0 {
+		c.BufferPackets = d.BufferPackets
+	}
+	if c.PacketLength <= 0 {
+		c.PacketLength = d.PacketLength
+	}
+	if c.LinkLatency <= 0 {
+		c.LinkLatency = d.LinkLatency
+	}
+	if c.WarmupCycles <= 0 {
+		c.WarmupCycles = d.WarmupCycles
+	}
+	if c.MeasureCycles <= 0 {
+		c.MeasureCycles = d.MeasureCycles
+	}
+	if c.SourceQueueCap <= 0 {
+		c.SourceQueueCap = d.SourceQueueCap
+	}
+	if c.RequestRefresh <= 0 {
+		c.RequestRefresh = d.RequestRefresh
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	return c
+}
+
+// Result reports one simulation run.
+type Result struct {
+	// OfferedLoad is the configured generation rate in phits per terminal
+	// per cycle (1.0 = every terminal generates one phit per cycle).
+	OfferedLoad float64
+	// AcceptedLoad is the delivered rate in phits per terminal per cycle
+	// during the measurement window.
+	AcceptedLoad float64
+	// AvgLatency is the mean generation-to-tail-delivery latency in cycles
+	// of packets delivered inside the window.
+	AvgLatency float64
+	// P50Latency and P95Latency are bucket-resolution upper estimates of
+	// the median and 95th-percentile latencies.
+	P50Latency float64
+	P95Latency float64
+	// P99Latency is a bucket-resolution upper estimate of the 99th
+	// percentile latency.
+	P99Latency float64
+	// MaxLatency is the largest observed latency in the window.
+	MaxLatency float64
+
+	Generated       int // packets generated in the window
+	Delivered       int // packets delivered in the window
+	DroppedAtSource int // generation attempts rejected by a full source queue (window)
+	UnroutableDrops int // packets whose pair has no up/down path (window)
+	MeasuredCycles  int
+
+	// Conservation counters over the entire run (warm-up included), used
+	// by invariant tests: everything generated is eventually delivered,
+	// still queued at a source, in flight, or was dropped.
+	TotalGenerated  int
+	TotalDelivered  int
+	TotalDropped    int
+	TotalUnroutable int
+	InFlightAtEnd   int
+	InSourceAtEnd   int
+	// Stalled reports the watchdog's verdict: packets were in the network
+	// but deliveries ceased for the last quarter of the run (or never
+	// happened) — impossible under correct deadlock-free up/down routing
+	// and a strong canary in fault experiments.
+	Stalled bool
+	// Timeline holds per-interval samples when Config.SampleInterval > 0.
+	Timeline []TimePoint
+}

@@ -1,0 +1,287 @@
+package simnet
+
+import (
+	"testing"
+
+	"rfclos/internal/rng"
+	"rfclos/internal/routing"
+	"rfclos/internal/topology"
+	"rfclos/internal/traffic"
+)
+
+// Edge-configuration tests: the simulator must stay correct (conserving
+// packets, deadlock-free) at extreme parameter settings.
+
+func TestSingleVCSingleBuffer(t *testing.T) {
+	// Up/down routing is deadlock-free without virtual channels; even with
+	// one VC and one buffer slot the network must keep delivering at full
+	// offered load.
+	c, ud := buildCFT(t, 8, 3)
+	cfg := testConfig()
+	cfg.VCs = 1
+	cfg.BufferPackets = 1
+	s := New(c, ud, traffic.NewUniform(c.Terminals()), cfg)
+	r := s.Run(1.0)
+	checkConservation(t, r)
+	if r.Delivered == 0 {
+		t.Fatal("deadlock or total stall with 1 VC / 1 buffer")
+	}
+	if r.AcceptedLoad < 0.15 {
+		t.Errorf("accepted %v suspiciously low even for minimal buffering", r.AcceptedLoad)
+	}
+}
+
+func TestMoreVCsHelpUnderLoad(t *testing.T) {
+	c, ud := buildCFT(t, 8, 3)
+	accepted := func(vcs int) float64 {
+		cfg := testConfig()
+		cfg.VCs = vcs
+		return New(c, ud, traffic.NewUniform(c.Terminals()), cfg).Run(1.0).AcceptedLoad
+	}
+	one, four := accepted(1), accepted(4)
+	if four < one-0.02 {
+		t.Errorf("4 VCs (%v) should not be worse than 1 VC (%v)", four, one)
+	}
+}
+
+func TestLongerLinkLatency(t *testing.T) {
+	c, ud := buildCFT(t, 8, 2)
+	base := testConfig()
+	slow := testConfig()
+	slow.LinkLatency = 4
+	rBase := New(c, ud, traffic.NewUniform(c.Terminals()), base).Run(0.05)
+	rSlow := New(c, ud, traffic.NewUniform(c.Terminals()), slow).Run(0.05)
+	checkConservation(t, rSlow)
+	// Each hop costs 3 extra cycles; the 2-hop (plus injection) path
+	// should show a clearly higher but bounded latency increase.
+	if rSlow.AvgLatency <= rBase.AvgLatency {
+		t.Errorf("latency with slower links (%v) not above baseline (%v)",
+			rSlow.AvgLatency, rBase.AvgLatency)
+	}
+	if rSlow.AvgLatency > rBase.AvgLatency+16 {
+		t.Errorf("latency increase too large: %v vs %v", rSlow.AvgLatency, rBase.AvgLatency)
+	}
+}
+
+func TestShortPackets(t *testing.T) {
+	c, ud := buildCFT(t, 8, 2)
+	cfg := testConfig()
+	cfg.PacketLength = 4
+	r := New(c, ud, traffic.NewUniform(c.Terminals()), cfg).Run(0.5)
+	checkConservation(t, r)
+	// Shorter packets mean lower serialization latency.
+	if r.AvgLatency > 40 {
+		t.Errorf("4-phit packet latency %v too high", r.AvgLatency)
+	}
+	if r.AcceptedLoad < 0.45 {
+		t.Errorf("accepted %v below offered at moderate load", r.AcceptedLoad)
+	}
+}
+
+func TestTinySourceQueue(t *testing.T) {
+	// With a one-packet source queue at saturation, drops at the source
+	// are expected but conservation must hold and throughput stays near
+	// the network's capacity.
+	c, ud := buildCFT(t, 8, 3)
+	cfg := testConfig()
+	cfg.SourceQueueCap = 1
+	r := New(c, ud, traffic.NewUniform(c.Terminals()), cfg).Run(1.0)
+	checkConservation(t, r)
+	if r.DroppedAtSource == 0 {
+		t.Error("expected source drops at saturation with a 1-packet queue")
+	}
+	if r.AcceptedLoad < 0.4 {
+		t.Errorf("accepted %v too low", r.AcceptedLoad)
+	}
+}
+
+func TestLatencyPercentilesOrdered(t *testing.T) {
+	c, ud := buildCFT(t, 8, 3)
+	r := New(c, ud, traffic.NewUniform(c.Terminals()), testConfig()).Run(0.7)
+	if r.AvgLatency > r.P99Latency {
+		t.Errorf("avg %v above p99 %v", r.AvgLatency, r.P99Latency)
+	}
+	if r.P99Latency > r.MaxLatency*2 {
+		t.Errorf("p99 estimate %v far above max %v", r.P99Latency, r.MaxLatency)
+	}
+}
+
+func TestRFCvsCFTUniformParity(t *testing.T) {
+	// §6 headline: under uniform traffic the equal-resources CFT and RFC
+	// perform almost identically. Allow a modest tolerance at this scale.
+	cft, cud := buildCFT(t, 12, 3)
+	rfc, rud := buildRFC(t, 12, 3, cft.LevelSize(1))
+	cfg := testConfig()
+	a := New(cft, cud, traffic.NewUniform(cft.Terminals()), cfg).Run(0.9).AcceptedLoad
+	b := New(rfc, rud, traffic.NewUniform(rfc.Terminals()), cfg).Run(0.9).AcceptedLoad
+	if diff := a - b; diff > 0.12 || diff < -0.12 {
+		t.Errorf("uniform parity violated: CFT %v vs RFC %v", a, b)
+	}
+}
+
+func TestPairingCFTBeatsRFC(t *testing.T) {
+	// §6: under random-pairing the rearrangeably non-blocking CFT keeps an
+	// edge over the RFC (paper: RFC delivers ~88% of the CFT's rate in the
+	// equal-resources scenario).
+	cft, cud := buildCFT(t, 12, 3)
+	rfc, rud := buildRFC(t, 12, 3, cft.LevelSize(1))
+	cfg := testConfig()
+	cfg.MeasureCycles = 3000
+	r := rng.New(17)
+	var cftAcc, rfcAcc float64
+	const reps = 3
+	for i := 0; i < reps; i++ {
+		seedCfg := cfg
+		seedCfg.Seed = uint64(100 + i)
+		cftAcc += New(cft, cud, traffic.NewPairing(cft.Terminals(), r), seedCfg).Run(1.0).AcceptedLoad
+		rfcAcc += New(rfc, rud, traffic.NewPairing(rfc.Terminals(), r), seedCfg).Run(1.0).AcceptedLoad
+	}
+	cftAcc /= reps
+	rfcAcc /= reps
+	if rfcAcc > cftAcc {
+		t.Logf("note: RFC (%v) above CFT (%v) under pairing at this scale", rfcAcc, cftAcc)
+	}
+	if rfcAcc < cftAcc*0.6 {
+		t.Errorf("RFC pairing throughput %v below 60%% of CFT %v (paper: ~88%%)", rfcAcc, cftAcc)
+	}
+}
+
+func TestTopologyWithoutTrafficForSilentTerminals(t *testing.T) {
+	// Odd terminal counts leave one silent node under pairing; the
+	// simulator must handle Dest == -1.
+	c, err := topology.NewCFTWithTerminals(6, 2, 3) // 9 terminals... 3 per leaf, 3 leaves? compute below
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Terminals()%2 == 0 {
+		t.Skip("terminal count even; pairing has no silent node")
+	}
+	ud := routing.New(c)
+	pat := traffic.NewPairing(c.Terminals(), rng.New(3))
+	r := New(c, ud, pat, testConfig()).Run(0.5)
+	checkConservation(t, r)
+}
+
+func TestInfiniteSinkLiftsEjectionBound(t *testing.T) {
+	// With an infinite reception rate, the all-to-one pattern is no longer
+	// capped at one phit per cycle in aggregate; the down tree into the
+	// hot leaf becomes the limit instead, which is far higher.
+	c, ud := buildCFT(t, 4, 2)
+	cfg := testConfig()
+	cfg.InfiniteSink = true
+	r := New(c, ud, allToZero{}, cfg).Run(1.0)
+	checkConservation(t, r)
+	// Capacity into the hot leaf: its 2 up-links plus the co-located
+	// sender = 3 phits/cycle, i.e. 3/T per terminal — well above the
+	// finite-sink bound of 1/T.
+	finiteBound := 1.0 / float64(c.Terminals())
+	if r.AcceptedLoad < 2.5*finiteBound {
+		t.Errorf("infinite sink accepted %v, want well above the finite bound %v",
+			r.AcceptedLoad, finiteBound)
+	}
+	if r.AcceptedLoad > 3.1*finiteBound {
+		t.Errorf("accepted %v above the hot-leaf capacity %v", r.AcceptedLoad, 3*finiteBound)
+	}
+}
+
+func TestInfiniteSinkUniformUnchanged(t *testing.T) {
+	// Under uniform traffic reception is rarely the bottleneck, so the two
+	// sink models should roughly agree.
+	c, ud := buildCFT(t, 8, 3)
+	base := testConfig()
+	inf := testConfig()
+	inf.InfiniteSink = true
+	a := New(c, ud, traffic.NewUniform(c.Terminals()), base).Run(0.6).AcceptedLoad
+	b := New(c, ud, traffic.NewUniform(c.Terminals()), inf).Run(0.6).AcceptedLoad
+	if diff := a - b; diff > 0.08 || diff < -0.08 {
+		t.Errorf("sink models diverge under uniform: %v vs %v", a, b)
+	}
+}
+
+func TestHashRoutingWorks(t *testing.T) {
+	// Deterministic D-mod-K routing still delivers everything and stays
+	// deadlock-free; throughput is at most modestly below the random
+	// request mode (flow pinning concentrates collisions).
+	c, ud := buildCFT(t, 8, 3)
+	cfg := testConfig()
+	cfg.HashRouting = true
+	r := New(c, ud, traffic.NewUniform(c.Terminals()), cfg).Run(0.8)
+	checkConservation(t, r)
+	if r.Stalled {
+		t.Fatal("hash routing stalled")
+	}
+	if r.AcceptedLoad < 0.3 {
+		t.Errorf("hash routing accepted %v, suspiciously low", r.AcceptedLoad)
+	}
+	base := testConfig()
+	rnd := New(c, ud, traffic.NewUniform(c.Terminals()), base).Run(0.8)
+	if r.AcceptedLoad > rnd.AcceptedLoad+0.05 {
+		t.Errorf("hash routing (%v) should not beat random requests (%v)",
+			r.AcceptedLoad, rnd.AcceptedLoad)
+	}
+}
+
+func TestTimelineSampling(t *testing.T) {
+	c, ud := buildCFT(t, 8, 2)
+	cfg := testConfig()
+	cfg.SampleInterval = 250
+	r := New(c, ud, traffic.NewUniform(c.Terminals()), cfg).Run(0.5)
+	total := cfg.WarmupCycles + cfg.MeasureCycles
+	want := total / cfg.SampleInterval
+	if len(r.Timeline) != want {
+		t.Fatalf("timeline has %d samples, want %d", len(r.Timeline), want)
+	}
+	sumGen, sumDel := 0, 0
+	for i, tp := range r.Timeline {
+		if tp.Cycle != (i+1)*cfg.SampleInterval {
+			t.Errorf("sample %d at cycle %d, want %d", i, tp.Cycle, (i+1)*cfg.SampleInterval)
+		}
+		if tp.InFlight < 0 || tp.AvgLatency < 0 {
+			t.Errorf("sample %d has negative stats: %+v", i, tp)
+		}
+		sumGen += tp.Generated
+		sumDel += tp.Delivered
+	}
+	if sumGen != r.TotalGenerated {
+		t.Errorf("timeline generated %d != total %d", sumGen, r.TotalGenerated)
+	}
+	if sumDel > r.TotalDelivered || sumDel < r.TotalDelivered-r.InFlightAtEnd {
+		t.Errorf("timeline delivered %d inconsistent with total %d", sumDel, r.TotalDelivered)
+	}
+	// Steady state: delivery rate in the second half should roughly match
+	// generation rate at this moderate load.
+	tail := r.Timeline[len(r.Timeline)/2:]
+	g, d := 0, 0
+	for _, tp := range tail {
+		g += tp.Generated
+		d += tp.Delivered
+	}
+	if d < g*8/10 {
+		t.Errorf("steady-state delivery %d far below generation %d", d, g)
+	}
+}
+
+func TestAutoWarmup(t *testing.T) {
+	c, ud := buildCFT(t, 8, 2)
+	cfg := testConfig()
+	cfg.WarmupCycles = 200
+	cfg.AutoWarmup = true
+	cfg.SampleInterval = 100
+	r := New(c, ud, traffic.NewUniform(c.Terminals()), cfg).Run(0.7)
+	checkConservation(t, r)
+	// Auto-warmup extends the run: total sampled cycles exceed the fixed
+	// warm-up plus measurement window only if extra windows ran; at least
+	// the base amount must be present and results stay sane.
+	totalCycles := r.Timeline[len(r.Timeline)-1].Cycle
+	if totalCycles < cfg.WarmupCycles+cfg.MeasureCycles {
+		t.Errorf("total cycles %d below base %d", totalCycles, cfg.WarmupCycles+cfg.MeasureCycles)
+	}
+	if r.AcceptedLoad < 0.6 || r.AcceptedLoad > 0.75 {
+		t.Errorf("accepted %v with auto-warmup", r.AcceptedLoad)
+	}
+	// Zero load terminates immediately (stable at 0 deliveries).
+	z := New(c, ud, traffic.NewUniform(c.Terminals()), cfg).Run(0)
+	if z.TotalGenerated != 0 {
+		t.Error("zero load generated packets")
+	}
+}

@@ -1,0 +1,637 @@
+package simnet
+
+import (
+	"math"
+
+	"rfclos/internal/metrics"
+	"rfclos/internal/rng"
+	"rfclos/internal/routing"
+	"rfclos/internal/topology"
+	"rfclos/internal/traffic"
+)
+
+// Request-port sentinels stored in packet.reqPort.
+const (
+	reqUnset = -2
+	reqEject = -1
+)
+
+// packet is one in-flight packet. Packets live in a pooled slice and are
+// referenced by index.
+type packet struct {
+	src, dst int32 // terminal ids
+	genAt    int32
+	readyAt  int32 // cycle at which the header is routable at its current switch
+	upRem    int8  // remaining up hops before the turn
+	reqPort  int16 // cached output-port request at the current switch
+	reqAt    int32 // cycle the request was computed
+}
+
+// Sim holds all mutable simulation state for one run over one topology,
+// routing function and traffic pattern.
+type Sim struct {
+	cfg Config
+	c   *topology.Clos
+	ud  *routing.UpDown
+	pat traffic.Pattern
+	rnd *rng.Rand
+
+	terms        int
+	termsPerLeaf int
+	n1           int32 // leaf switch count; leaves are switches [0, n1)
+
+	// Directed channels. Channel i carries packets from chFrom[i] to
+	// chTo[i]; chPort[i] is its output-port index at chFrom[i].
+	chFrom, chTo []int32
+	chFreeAt     []int32
+
+	// Per-switch topology-derived tables.
+	upLen, downLen []int16   // port counts
+	outCh          [][]int32 // channel id per output port (ups then downs)
+	inCh           [][]int32 // incoming channel ids
+	swQueued       []int32   // packets queued at this switch (incl. injection)
+
+	// VC queues, flattened: index ch*VCs+vc.
+	qBuf       []int32 // ring storage, stride BufferPackets
+	qHead      []uint8
+	qLen       []uint8
+	vcOccupied []uint8
+
+	// Active-source lists: per switch, the sources (injection terminals
+	// and VC queues) that currently hold at least one packet. Entries are
+	// appended on enqueue and lazily removed when found empty, so
+	// arbitration never scans empty queues.
+	activeSrc   [][]int64
+	inActiveQ   []bool // per VC queue
+	inActiveInj []bool // per terminal
+
+	// Terminal state.
+	srcQ      [][]int32
+	injFreeAt []int32
+	ejFreeAt  []int32
+	nextGen   []int32
+
+	// Packet pool.
+	pool []packet
+	free []int32
+
+	// Event ring: tail-departure buffer releases and deliveries.
+	ringSize  int32
+	relBucket [][]int32 // channel-vc codes
+	delBucket [][]int32 // packet ids
+
+	// Stats.
+	cycle         int32
+	measuring     bool
+	lat           metrics.Histogram
+	generated     int
+	delivered     int
+	droppedSrc    int
+	unroutable    int
+	totGenerated  int
+	totDelivered  int
+	totDropped    int
+	totUnroutable int
+	inFlight      int
+	lastDelivery  int32
+
+	// Timeline interval accumulators (Config.SampleInterval > 0).
+	timeline  []TimePoint
+	intGen    int
+	intDel    int
+	intLatSum float64
+
+	// Arbitration scratch, sized to the max outputs of any switch.
+	candCount []int32
+	candSrc   []int64
+	usedPorts []int32
+}
+
+// New builds a simulator over the given (possibly faulted) topology, its
+// routing state and a traffic pattern. The Config's zero fields take Table
+// 2 defaults.
+func New(c *topology.Clos, ud *routing.UpDown, pat traffic.Pattern, cfg Config) *Sim {
+	cfg = cfg.withDefaults()
+	s := &Sim{
+		cfg:          cfg,
+		c:            c,
+		ud:           ud,
+		pat:          pat,
+		rnd:          rng.New(cfg.Seed),
+		terms:        c.Terminals(),
+		termsPerLeaf: c.TermsPerLeaf,
+		n1:           int32(c.LevelSize(1)),
+	}
+	s.buildChannels()
+	s.buildState()
+	return s
+}
+
+func (s *Sim) buildChannels() {
+	c := s.c
+	n := c.NumSwitches()
+	s.upLen = make([]int16, n)
+	s.downLen = make([]int16, n)
+	s.outCh = make([][]int32, n)
+	s.inCh = make([][]int32, n)
+	for sw := int32(0); sw < int32(n); sw++ {
+		ups, downs := c.Up(sw), c.Down(sw)
+		s.upLen[sw] = int16(len(ups))
+		s.downLen[sw] = int16(len(downs))
+		s.outCh[sw] = make([]int32, len(ups)+len(downs))
+		for i, to := range ups {
+			ch := int32(len(s.chFrom))
+			s.chFrom = append(s.chFrom, sw)
+			s.chTo = append(s.chTo, to)
+			s.outCh[sw][i] = ch
+		}
+		for i, to := range downs {
+			ch := int32(len(s.chFrom))
+			s.chFrom = append(s.chFrom, sw)
+			s.chTo = append(s.chTo, to)
+			s.outCh[sw][len(ups)+i] = ch
+		}
+	}
+	for ch := range s.chFrom {
+		s.inCh[s.chTo[ch]] = append(s.inCh[s.chTo[ch]], int32(ch))
+	}
+	s.chFreeAt = make([]int32, len(s.chFrom))
+}
+
+func (s *Sim) buildState() {
+	cfg := s.cfg
+	nvc := len(s.chFrom) * cfg.VCs
+	s.qBuf = make([]int32, nvc*cfg.BufferPackets)
+	s.qHead = make([]uint8, nvc)
+	s.qLen = make([]uint8, nvc)
+	s.vcOccupied = make([]uint8, nvc)
+	s.swQueued = make([]int32, s.c.NumSwitches())
+	s.activeSrc = make([][]int64, s.c.NumSwitches())
+	s.inActiveQ = make([]bool, nvc)
+	s.inActiveInj = make([]bool, s.terms)
+
+	s.srcQ = make([][]int32, s.terms)
+	s.injFreeAt = make([]int32, s.terms)
+	s.ejFreeAt = make([]int32, s.terms)
+	s.nextGen = make([]int32, s.terms)
+
+	s.ringSize = int32(cfg.PacketLength + cfg.LinkLatency + 2)
+	s.relBucket = make([][]int32, s.ringSize)
+	s.delBucket = make([][]int32, s.ringSize)
+
+	maxOut := 0
+	for sw := range s.outCh {
+		out := len(s.outCh[sw]) + s.termsPerLeaf
+		if out > maxOut {
+			maxOut = out
+		}
+	}
+	s.candCount = make([]int32, maxOut)
+	s.candSrc = make([]int64, maxOut)
+	s.usedPorts = make([]int32, 0, maxOut)
+}
+
+// Run simulates warm-up plus the measurement window at the given offered
+// load (phits per terminal per cycle) and returns the measured Result. A
+// Sim must not be reused after Run.
+func (s *Sim) Run(load float64) Result {
+	if load < 0 {
+		load = 0
+	}
+	p := load / float64(s.cfg.PacketLength) // packet generation probability per cycle
+	for t := 0; t < s.terms; t++ {
+		s.nextGen[t] = s.drawGap(p)
+	}
+	warm := int32(s.cfg.WarmupCycles)
+	s.cycle = 0
+	s.advance(warm, p)
+	if s.cfg.AutoWarmup {
+		// Keep warming in half-windows until the delivery rate of two
+		// consecutive windows agrees within 5%, capped at 8x the base
+		// warm-up.
+		win := warm / 2
+		if win < 100 {
+			win = 100
+		}
+		prev := -1
+		for extra := int32(0); extra < 8*warm; extra += win {
+			before := s.totDelivered
+			s.advance(win, p)
+			cur := s.totDelivered - before
+			if prev >= 0 && rateStable(prev, cur) {
+				break
+			}
+			prev = cur
+		}
+	}
+	s.measuring = true
+	s.generated, s.delivered, s.droppedSrc, s.unroutable = 0, 0, 0, 0
+	s.lat = metrics.Histogram{}
+	s.advance(int32(s.cfg.MeasureCycles), p)
+	total := s.cycle
+	inSource := 0
+	for t := range s.srcQ {
+		inSource += len(s.srcQ[t])
+	}
+	res := Result{
+		OfferedLoad:     load,
+		AcceptedLoad:    float64(s.delivered*s.cfg.PacketLength) / (float64(s.terms) * float64(s.cfg.MeasureCycles)),
+		AvgLatency:      s.lat.Mean(),
+		P50Latency:      s.lat.Quantile(0.50),
+		P95Latency:      s.lat.Quantile(0.95),
+		P99Latency:      s.lat.Quantile(0.99),
+		MaxLatency:      s.lat.Max(),
+		Generated:       s.generated,
+		Delivered:       s.delivered,
+		DroppedAtSource: s.droppedSrc,
+		UnroutableDrops: s.unroutable,
+		MeasuredCycles:  s.cfg.MeasureCycles,
+		TotalGenerated:  s.totGenerated,
+		TotalDelivered:  s.totDelivered,
+		TotalDropped:    s.totDropped,
+		TotalUnroutable: s.totUnroutable,
+		InFlightAtEnd:   s.inFlight,
+		InSourceAtEnd:   inSource,
+	}
+	// Stall watchdog: packets inside the network but no delivery for the
+	// last quarter of the run indicates livelock/deadlock — which correct
+	// up/down routing makes impossible.
+	inNetwork := s.inFlight - inSource
+	quiet := total - s.lastDelivery
+	res.Stalled = inNetwork > 0 && quiet > int32(s.cfg.MeasureCycles)/4
+	res.Timeline = s.timeline
+	return res
+}
+
+// advance simulates n cycles.
+func (s *Sim) advance(n int32, p float64) {
+	for end := s.cycle + n; s.cycle < end; s.cycle++ {
+		s.processEvents()
+		s.generate(p)
+		s.arbitrate()
+		if si := s.cfg.SampleInterval; si > 0 && (int(s.cycle)+1)%si == 0 {
+			tp := TimePoint{
+				Cycle:     int(s.cycle) + 1,
+				Generated: s.intGen,
+				Delivered: s.intDel,
+				InFlight:  s.inFlight,
+			}
+			if s.intDel > 0 {
+				tp.AvgLatency = s.intLatSum / float64(s.intDel)
+			}
+			s.timeline = append(s.timeline, tp)
+			s.intGen, s.intDel, s.intLatSum = 0, 0, 0
+		}
+	}
+}
+
+// rateStable reports whether two consecutive window delivery counts agree
+// within 5%.
+func rateStable(a, b int) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	max := a
+	if b > max {
+		max = b
+	}
+	if max == 0 {
+		return true
+	}
+	return float64(diff) <= 0.05*float64(max)
+}
+
+// drawGap samples the number of cycles until the next packet generation
+// (geometric with parameter p, support {1, 2, ...}).
+func (s *Sim) drawGap(p float64) int32 {
+	if p <= 0 {
+		return math.MaxInt32
+	}
+	if p >= 1 {
+		return 1
+	}
+	u := s.rnd.Float64()
+	for u == 0 {
+		u = s.rnd.Float64()
+	}
+	g := int32(math.Log(u)/math.Log(1-p)) + 1
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// processEvents applies this cycle's buffer releases and deliveries.
+func (s *Sim) processEvents() {
+	slot := s.cycle % s.ringSize
+	for _, code := range s.relBucket[slot] {
+		s.vcOccupied[code]--
+	}
+	s.relBucket[slot] = s.relBucket[slot][:0]
+	for _, pk := range s.delBucket[slot] {
+		p := &s.pool[pk]
+		s.totDelivered++
+		s.inFlight--
+		s.lastDelivery = s.cycle
+		s.intDel++
+		s.intLatSum += float64(s.cycle - p.genAt)
+		if s.measuring {
+			s.delivered++
+			s.lat.Add(int(s.cycle - p.genAt))
+		}
+		s.free = append(s.free, pk)
+	}
+	s.delBucket[slot] = s.delBucket[slot][:0]
+}
+
+// generate creates new packets at every terminal whose generation timer
+// fires this cycle.
+func (s *Sim) generate(p float64) {
+	if p <= 0 {
+		return
+	}
+	for t := 0; t < s.terms; t++ {
+		if s.nextGen[t] > s.cycle {
+			continue
+		}
+		s.nextGen[t] = s.cycle + s.drawGap(p)
+		dst := s.pat.Dest(t, s.rnd)
+		if dst < 0 {
+			continue // silent terminal (odd pairing)
+		}
+		srcLeaf := int(s.c.LeafOfTerminal(t))
+		dstLeaf := int(s.c.LeafOfTerminal(dst))
+		turn := s.ud.MinTurn(srcLeaf, dstLeaf)
+		if turn < 0 {
+			// No surviving up/down path for this pair (faulty network).
+			s.totUnroutable++
+			if s.measuring {
+				s.unroutable++
+			}
+			continue
+		}
+		if s.measuring {
+			s.generated++
+		}
+		s.totGenerated++
+		s.intGen++
+		if len(s.srcQ[t]) >= s.cfg.SourceQueueCap {
+			s.totDropped++
+			if s.measuring {
+				s.droppedSrc++
+			}
+			continue
+		}
+		pk := s.alloc()
+		pp := &s.pool[pk]
+		pp.src, pp.dst = int32(t), int32(dst)
+		pp.genAt = s.cycle
+		pp.readyAt = s.cycle
+		pp.upRem = int8(turn)
+		pp.reqPort = reqUnset
+		s.srcQ[t] = append(s.srcQ[t], pk)
+		s.swQueued[srcLeaf]++
+		s.inFlight++
+		if !s.inActiveInj[t] {
+			s.inActiveInj[t] = true
+			s.activeSrc[srcLeaf] = append(s.activeSrc[srcLeaf], encodeInj(int32(t)))
+		}
+	}
+}
+
+func (s *Sim) alloc() int32 {
+	if n := len(s.free); n > 0 {
+		pk := s.free[n-1]
+		s.free = s.free[:n-1]
+		return pk
+	}
+	s.pool = append(s.pool, packet{})
+	return int32(len(s.pool) - 1)
+}
+
+// source encoding for arbitration: negative values -(t+1) are terminal
+// injection queues, non-negative are channel*VCs+vc queue indices.
+func encodeInj(term int32) int64 { return -int64(term) - 1 }
+
+// arbitrate performs one iteration of per-output random arbitration at
+// every switch with queued packets and dispatches the winners.
+func (s *Sim) arbitrate() {
+	for sw := int32(0); sw < int32(len(s.outCh)); sw++ {
+		list := s.activeSrc[sw]
+		if len(list) == 0 {
+			continue
+		}
+		s.usedPorts = s.usedPorts[:0]
+		// Scan active sources; lazily drop the ones that emptied.
+		for i := 0; i < len(list); {
+			src := list[i]
+			if src < 0 {
+				term := int32(-src - 1)
+				if len(s.srcQ[term]) == 0 {
+					s.inActiveInj[term] = false
+					list[i] = list[len(list)-1]
+					list = list[:len(list)-1]
+					continue
+				}
+				if s.injFreeAt[term] <= s.cycle {
+					s.consider(sw, s.srcQ[term][0], src)
+				}
+			} else {
+				q := int32(src)
+				if s.qLen[q] == 0 {
+					s.inActiveQ[q] = false
+					list[i] = list[len(list)-1]
+					list = list[:len(list)-1]
+					continue
+				}
+				pk := s.qBuf[int(q)*s.cfg.BufferPackets+int(s.qHead[q])]
+				if s.pool[pk].readyAt <= s.cycle {
+					s.consider(sw, pk, src)
+				}
+			}
+			i++
+		}
+		s.activeSrc[sw] = list
+		// Dispatch one winner per requested output port.
+		for _, port := range s.usedPorts {
+			src := s.candSrc[port]
+			s.candCount[port] = 0
+			s.dispatch(sw, int(port), src)
+		}
+	}
+}
+
+// consider computes (or reuses) the head packet's output request at switch
+// sw and registers it as an arbitration candidate if the output can accept
+// it this cycle. Winner selection is reservoir sampling, giving each
+// requester equal probability — the Table 2 random arbiter.
+func (s *Sim) consider(sw int32, pk int32, src int64) {
+	p := &s.pool[pk]
+	if p.reqPort == reqUnset || s.cycle-p.reqAt >= int32(s.cfg.RequestRefresh) {
+		p.reqPort = s.route(sw, p)
+		p.reqAt = s.cycle
+		if p.reqPort == reqUnset {
+			return // no viable next hop (faulted mid-flight); packet waits
+		}
+	}
+	var portIdx int32
+	if p.reqPort == reqEject {
+		if s.cfg.InfiniteSink {
+			// No reception bandwidth limit: consume immediately, without
+			// competing for an ejection port.
+			s.dispatch(sw, 0, src)
+			return
+		}
+		// Ejection port of the destination terminal.
+		local := int(p.dst) % s.termsPerLeaf
+		portIdx = int32(len(s.outCh[sw]) + local)
+		if s.ejFreeAt[p.dst] > s.cycle {
+			return
+		}
+	} else {
+		portIdx = int32(p.reqPort)
+		ch := s.outCh[sw][portIdx]
+		if s.chFreeAt[ch] > s.cycle {
+			return
+		}
+		if !s.hasVCSpace(ch) {
+			return
+		}
+	}
+	s.candCount[portIdx]++
+	if s.candCount[portIdx] == 1 {
+		s.usedPorts = append(s.usedPorts, portIdx)
+		s.candSrc[portIdx] = src
+	} else if s.rnd.Intn(int(s.candCount[portIdx])) == 0 {
+		s.candSrc[portIdx] = src
+	}
+}
+
+// route picks the packet's output request at switch sw: ejection at the
+// destination leaf, then a qualifying up port during the ascent or down
+// port during the descent — chosen uniformly at random per request (Table
+// 2's "up/down random") or by deterministic flow hash (Config.HashRouting).
+func (s *Sim) route(sw int32, p *packet) int16 {
+	dstLeaf := int(s.c.LeafOfTerminal(int(p.dst)))
+	if int(sw) == dstLeaf && sw < s.n1 {
+		return reqEject
+	}
+	if s.cfg.HashRouting {
+		key := flowHash(p.src, p.dst, sw)
+		if p.upRem > 0 {
+			if port := s.ud.NextUpPortHash(sw, int(p.upRem), dstLeaf, key); port >= 0 {
+				return int16(port)
+			}
+			return reqUnset
+		}
+		if port := s.ud.NextDownPortHash(sw, dstLeaf, key); port >= 0 {
+			return int16(int(s.upLen[sw]) + port)
+		}
+		return reqUnset
+	}
+	if p.upRem > 0 {
+		if port := s.ud.NextUpPort(sw, int(p.upRem), dstLeaf, s.rnd); port >= 0 {
+			return int16(port)
+		}
+		return reqUnset
+	}
+	if port := s.ud.NextDownPort(sw, dstLeaf, s.rnd); port >= 0 {
+		return int16(int(s.upLen[sw]) + port)
+	}
+	return reqUnset
+}
+
+// flowHash mixes the flow identifier and the current switch into a D-mod-K
+// selection key (fmix-style avalanche).
+func flowHash(src, dst, sw int32) uint32 {
+	x := uint64(uint32(src))<<40 ^ uint64(uint32(dst))<<16 ^ uint64(uint32(sw))
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return uint32(x)
+}
+
+// hasVCSpace reports whether any VC of channel ch can accept a packet.
+func (s *Sim) hasVCSpace(ch int32) bool {
+	base := ch * int32(s.cfg.VCs)
+	for vc := int32(0); vc < int32(s.cfg.VCs); vc++ {
+		if int(s.vcOccupied[base+vc]) < s.cfg.BufferPackets {
+			return true
+		}
+	}
+	return false
+}
+
+// dispatch moves the winning packet out of its source queue and onto its
+// requested output.
+func (s *Sim) dispatch(sw int32, port int, src int64) {
+	var pk int32
+	if src < 0 {
+		term := int32(-src - 1)
+		pk = s.srcQ[term][0]
+		s.srcQ[term] = s.srcQ[term][1:]
+		s.injFreeAt[term] = s.cycle + int32(s.cfg.PacketLength)
+	} else {
+		q := int32(src)
+		pk = s.qBuf[int(q)*s.cfg.BufferPackets+int(s.qHead[q])]
+		s.qHead[q] = uint8((int(s.qHead[q]) + 1) % s.cfg.BufferPackets)
+		s.qLen[q]--
+		// The buffer slot frees when the tail streams out.
+		s.scheduleRelease(q, s.cycle+int32(s.cfg.PacketLength))
+	}
+	s.swQueued[sw]--
+	p := &s.pool[pk]
+
+	if p.reqPort == reqEject {
+		s.ejFreeAt[p.dst] = s.cycle + int32(s.cfg.PacketLength)
+		s.scheduleDelivery(pk, s.cycle+int32(s.cfg.PacketLength))
+		return
+	}
+
+	ch := s.outCh[sw][port]
+	// Choose a VC uniformly among those with space.
+	base := ch * int32(s.cfg.VCs)
+	chosen, count := int32(-1), 0
+	for vc := int32(0); vc < int32(s.cfg.VCs); vc++ {
+		if int(s.vcOccupied[base+vc]) < s.cfg.BufferPackets {
+			count++
+			if count == 1 || s.rnd.Intn(count) == 0 {
+				chosen = base + vc
+			}
+		}
+	}
+	if chosen < 0 {
+		panic("simnet: dispatch without VC space (arbitration bug)")
+	}
+	s.chFreeAt[ch] = s.cycle + int32(s.cfg.PacketLength)
+	s.vcOccupied[chosen]++
+	// Enqueue at the receiving switch; header routable after LinkLatency.
+	q := chosen
+	tail := (int(s.qHead[q]) + int(s.qLen[q])) % s.cfg.BufferPackets
+	s.qBuf[int(q)*s.cfg.BufferPackets+tail] = pk
+	s.qLen[q]++
+	to := s.chTo[ch]
+	s.swQueued[to]++
+	if !s.inActiveQ[q] {
+		s.inActiveQ[q] = true
+		s.activeSrc[to] = append(s.activeSrc[to], int64(q))
+	}
+	p.readyAt = s.cycle + int32(s.cfg.LinkLatency)
+	if port < int(s.upLen[sw]) {
+		p.upRem--
+	}
+	p.reqPort = reqUnset
+}
+
+func (s *Sim) scheduleRelease(qcode, at int32) {
+	slot := at % s.ringSize
+	s.relBucket[slot] = append(s.relBucket[slot], qcode)
+}
+
+func (s *Sim) scheduleDelivery(pk, at int32) {
+	slot := at % s.ringSize
+	s.delBucket[slot] = append(s.delBucket[slot], pk)
+}

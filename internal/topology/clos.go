@@ -1,0 +1,280 @@
+// Package topology provides the folded Clos network representation shared by
+// every indirect topology in this repository (CFT, OFT, RFC) together with
+// the deterministic baseline builders the paper compares against: the
+// R-commodity fat-tree (CFT), the k-ary l-tree, the orthogonal fat-tree
+// (OFT) and the random regular network (RRN / Jellyfish).
+package topology
+
+import (
+	"fmt"
+
+	"rfclos/internal/graph"
+)
+
+// Clos is an l-level folded Clos network per Definition 3.1 of the paper:
+// switches are arranged in levels 1..l; level-1 ("leaf") switches attach
+// compute nodes; level-i switches connect downward to level i-1 and upward
+// to level i+1; level-l ("root") switches connect only downward.
+//
+// Switches carry global ids: level 1 occupies [0, N_1), level 2 the next
+// N_2 ids, and so on. Terminals (compute nodes) are implicit: terminal t
+// attaches to leaf switch t / TermsPerLeaf.
+type Clos struct {
+	// Radix is the nominal switch radix R (number of ports). Builders keep
+	// every switch within this budget; Validate checks it.
+	Radix int
+	// TermsPerLeaf is the number of compute nodes per leaf switch.
+	TermsPerLeaf int
+
+	levelSize []int   // switch count per level, index 0 = level 1 (leaves)
+	offset    []int32 // offset[i] = global id of first switch at level i+1
+	up        [][]int32
+	down      [][]int32
+}
+
+// NewEmpty creates a Clos with the given per-level switch counts and no
+// inter-level links. Links are added with AddLink; the caller is responsible
+// for wiring a pattern that Validate accepts.
+func NewEmpty(levelSize []int, termsPerLeaf, radix int) (*Clos, error) {
+	if len(levelSize) < 2 {
+		return nil, fmt.Errorf("topology: need at least 2 levels, got %d", len(levelSize))
+	}
+	total := 0
+	offset := make([]int32, len(levelSize))
+	for i, n := range levelSize {
+		if n <= 0 {
+			return nil, fmt.Errorf("topology: level %d has non-positive size %d", i+1, n)
+		}
+		offset[i] = int32(total)
+		total += n
+	}
+	if termsPerLeaf <= 0 {
+		return nil, fmt.Errorf("topology: non-positive terminals per leaf %d", termsPerLeaf)
+	}
+	return &Clos{
+		Radix:        radix,
+		TermsPerLeaf: termsPerLeaf,
+		levelSize:    append([]int(nil), levelSize...),
+		offset:       offset,
+		up:           make([][]int32, total),
+		down:         make([][]int32, total),
+	}, nil
+}
+
+// Levels returns l, the number of switch levels.
+func (c *Clos) Levels() int { return len(c.levelSize) }
+
+// LevelSize returns N_{level}, for level in [1, l].
+func (c *Clos) LevelSize(level int) int { return c.levelSize[level-1] }
+
+// NumSwitches returns the total switch count across all levels.
+func (c *Clos) NumSwitches() int {
+	last := len(c.levelSize) - 1
+	return int(c.offset[last]) + c.levelSize[last]
+}
+
+// Terminals returns T, the total number of compute nodes.
+func (c *Clos) Terminals() int { return c.levelSize[0] * c.TermsPerLeaf }
+
+// SwitchID maps (level, index-within-level) to a global switch id.
+func (c *Clos) SwitchID(level, idx int) int32 {
+	return c.offset[level-1] + int32(idx)
+}
+
+// LevelOf returns the level (1-based) of global switch id s.
+func (c *Clos) LevelOf(s int32) int {
+	for i := len(c.offset) - 1; i >= 0; i-- {
+		if s >= c.offset[i] {
+			return i + 1
+		}
+	}
+	panic(fmt.Sprintf("topology: switch id %d out of range", s))
+}
+
+// IndexInLevel returns s's index within its level.
+func (c *Clos) IndexInLevel(s int32) int {
+	return int(s - c.offset[c.LevelOf(s)-1])
+}
+
+// LeafOfTerminal returns the leaf switch id that terminal t attaches to.
+func (c *Clos) LeafOfTerminal(t int) int32 { return int32(t / c.TermsPerLeaf) }
+
+// Up returns the up-neighbour switch ids of s (owned by the Clos).
+func (c *Clos) Up(s int32) []int32 { return c.up[s] }
+
+// Down returns the down-neighbour switch ids of s (owned by the Clos).
+func (c *Clos) Down(s int32) []int32 { return c.down[s] }
+
+// AddLink wires switch a at some level i to switch b at level i+1. Both are
+// global ids; the call panics if they are not on adjacent levels.
+func (c *Clos) AddLink(a, b int32) {
+	la, lb := c.LevelOf(a), c.LevelOf(b)
+	if lb != la+1 {
+		panic(fmt.Sprintf("topology: AddLink(%d@L%d, %d@L%d): not adjacent levels", a, la, b, lb))
+	}
+	c.up[a] = append(c.up[a], b)
+	c.down[b] = append(c.down[b], a)
+}
+
+// RemoveLink deletes one a—b link (a at the lower level). It reports whether
+// a link was removed. Used by the fault-injection experiments.
+func (c *Clos) RemoveLink(a, b int32) bool {
+	if !removeOne(&c.up[a], b) {
+		return false
+	}
+	if !removeOne(&c.down[b], a) {
+		panic("topology: asymmetric link state")
+	}
+	return true
+}
+
+func removeOne(list *[]int32, v int32) bool {
+	l := *list
+	for i, w := range l {
+		if w == v {
+			l[i] = l[len(l)-1]
+			*list = l[:len(l)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// Link is a directed-by-level link: A is at level i, B at level i+1.
+type Link struct{ A, B int32 }
+
+// Links returns every inter-switch link exactly once.
+func (c *Clos) Links() []Link {
+	var out []Link
+	for s := range c.up {
+		for _, b := range c.up[s] {
+			out = append(out, Link{int32(s), b})
+		}
+	}
+	return out
+}
+
+// Wires returns the number of inter-switch links (network wires, excluding
+// terminal attachments), matching the paper's cost accounting in §5.
+func (c *Clos) Wires() int {
+	n := 0
+	for _, ns := range c.up {
+		n += len(ns)
+	}
+	return n
+}
+
+// NetworkPorts returns the number of switch ports used by inter-switch
+// links (twice Wires).
+func (c *Clos) NetworkPorts() int { return 2 * c.Wires() }
+
+// TotalPorts counts every switch port in use: network ports plus
+// terminal-facing ports. Figure 7 plots this as the raw cost measure.
+func (c *Clos) TotalPorts() int { return c.NetworkPorts() + c.Terminals() }
+
+// Clone returns a deep copy (used by destructive fault sweeps).
+func (c *Clos) Clone() *Clos {
+	cp := &Clos{
+		Radix:        c.Radix,
+		TermsPerLeaf: c.TermsPerLeaf,
+		levelSize:    append([]int(nil), c.levelSize...),
+		offset:       append([]int32(nil), c.offset...),
+		up:           make([][]int32, len(c.up)),
+		down:         make([][]int32, len(c.down)),
+	}
+	for i := range c.up {
+		cp.up[i] = append([]int32(nil), c.up[i]...)
+		cp.down[i] = append([]int32(nil), c.down[i]...)
+	}
+	return cp
+}
+
+// SwitchGraph returns the undirected switch-to-switch graph, the object the
+// disconnection experiments (Table 3) and diameter checks operate on.
+func (c *Clos) SwitchGraph() *graph.Graph {
+	g := graph.New(c.NumSwitches())
+	for s := range c.up {
+		for _, b := range c.up[s] {
+			g.AddEdge(s, int(b))
+		}
+	}
+	return g
+}
+
+// Validate checks structural sanity: links only between adjacent levels
+// (guaranteed by AddLink), no switch exceeding the radix, every switch
+// connected on its mandatory sides, and no duplicate parallel links.
+func (c *Clos) Validate() error {
+	l := c.Levels()
+	for s := int32(0); s < int32(c.NumSwitches()); s++ {
+		lev := c.LevelOf(s)
+		ports := len(c.up[s]) + len(c.down[s])
+		if lev == 1 {
+			ports += c.TermsPerLeaf
+		}
+		if c.Radix > 0 && ports > c.Radix {
+			return fmt.Errorf("topology: switch %d (level %d) uses %d ports > radix %d", s, lev, ports, c.Radix)
+		}
+		if lev < l && len(c.up[s]) == 0 {
+			return fmt.Errorf("topology: switch %d (level %d) has no up-links", s, lev)
+		}
+		if lev > 1 && len(c.down[s]) == 0 {
+			return fmt.Errorf("topology: switch %d (level %d) has no down-links", s, lev)
+		}
+		if dup := findDup(c.up[s]); dup >= 0 {
+			return fmt.Errorf("topology: switch %d has parallel up-links to %d", s, dup)
+		}
+	}
+	return nil
+}
+
+// ValidateRadixRegular additionally enforces the paper's radix-regular
+// folded Clos shape: every level-i switch (i < l) has exactly R/2 up-links
+// and R/2 down-links (terminals count as down-links at level 1), and root
+// switches have up to R down-links.
+func (c *Clos) ValidateRadixRegular() error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	half := c.Radix / 2
+	l := c.Levels()
+	for s := int32(0); s < int32(c.NumSwitches()); s++ {
+		lev := c.LevelOf(s)
+		switch {
+		case lev == 1:
+			if c.TermsPerLeaf != half {
+				return fmt.Errorf("topology: leaf has %d terminals, want R/2 = %d", c.TermsPerLeaf, half)
+			}
+			if len(c.up[s]) != half {
+				return fmt.Errorf("topology: leaf %d has %d up-links, want %d", s, len(c.up[s]), half)
+			}
+		case lev < l:
+			if len(c.up[s]) != half || len(c.down[s]) != half {
+				return fmt.Errorf("topology: switch %d (level %d) has %d up / %d down, want %d/%d",
+					s, lev, len(c.up[s]), len(c.down[s]), half, half)
+			}
+		default:
+			if len(c.down[s]) > c.Radix {
+				return fmt.Errorf("topology: root %d has %d down-links > radix %d", s, len(c.down[s]), c.Radix)
+			}
+		}
+	}
+	return nil
+}
+
+func findDup(list []int32) int32 {
+	seen := make(map[int32]struct{}, len(list))
+	for _, v := range list {
+		if _, ok := seen[v]; ok {
+			return v
+		}
+		seen[v] = struct{}{}
+	}
+	return -1
+}
+
+// String summarises the network.
+func (c *Clos) String() string {
+	return fmt.Sprintf("folded Clos: R=%d levels=%d sizes=%v terminals=%d wires=%d",
+		c.Radix, c.Levels(), c.levelSize, c.Terminals(), c.Wires())
+}

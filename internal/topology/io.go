@@ -1,0 +1,95 @@
+package topology
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// closJSON is the on-disk schema for a folded Clos network. Links are
+// stored as [lower, upper] global switch id pairs.
+type closJSON struct {
+	Radix        int      `json:"radix"`
+	TermsPerLeaf int      `json:"terms_per_leaf"`
+	LevelSizes   []int    `json:"level_sizes"`
+	Links        [][2]int `json:"links"`
+}
+
+// WriteJSON serialises the network. The format round-trips through
+// ReadJSON and is stable for storage and interchange.
+func (c *Clos) WriteJSON(w io.Writer) error {
+	out := closJSON{
+		Radix:        c.Radix,
+		TermsPerLeaf: c.TermsPerLeaf,
+		LevelSizes:   append([]int(nil), c.levelSize...),
+	}
+	for _, l := range c.Links() {
+		out.Links = append(out.Links, [2]int{int(l.A), int(l.B)})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadJSON deserialises a network written by WriteJSON, validating its
+// structure.
+func ReadJSON(r io.Reader) (*Clos, error) {
+	var in closJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("topology: decoding: %w", err)
+	}
+	c, err := NewEmpty(in.LevelSizes, in.TermsPerLeaf, in.Radix)
+	if err != nil {
+		return nil, err
+	}
+	total := int32(c.NumSwitches())
+	for i, l := range in.Links {
+		a, b := int32(l[0]), int32(l[1])
+		if a < 0 || a >= total || b < 0 || b >= total {
+			return nil, fmt.Errorf("topology: link %d (%d-%d) out of range", i, a, b)
+		}
+		if c.LevelOf(b) != c.LevelOf(a)+1 {
+			return nil, fmt.Errorf("topology: link %d (%d-%d) not between adjacent levels", i, a, b)
+		}
+		c.AddLink(a, b)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("topology: loaded network invalid: %w", err)
+	}
+	return c, nil
+}
+
+// WriteDOT emits the network in Graphviz DOT format, one rank per level,
+// for visual inspection of small instances (Figures 1, 2 and 4 of the
+// paper render directly from this).
+func (c *Clos) WriteDOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "graph clos {")
+	fmt.Fprintln(bw, "  rankdir=BT;")
+	fmt.Fprintln(bw, "  node [shape=box, fontsize=10];")
+	for lev := 1; lev <= c.Levels(); lev++ {
+		fmt.Fprintf(bw, "  { rank=same;")
+		for i := 0; i < c.LevelSize(lev); i++ {
+			fmt.Fprintf(bw, " s%d;", c.SwitchID(lev, i))
+		}
+		fmt.Fprintln(bw, " }")
+	}
+	for _, l := range c.Links() {
+		fmt.Fprintf(bw, "  s%d -- s%d;\n", l.A, l.B)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// WriteEdgeList emits one "a b" line per link (lower id first), a format
+// digestible by standard graph tooling.
+func (c *Clos) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, l := range c.Links() {
+		if _, err := fmt.Fprintln(bw, l.A, l.B); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

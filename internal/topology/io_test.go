@@ -1,0 +1,95 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig, err := NewCFT(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Radix != orig.Radix || loaded.TermsPerLeaf != orig.TermsPerLeaf ||
+		loaded.Levels() != orig.Levels() || loaded.Terminals() != orig.Terminals() {
+		t.Errorf("metadata mismatch: %v vs %v", loaded, orig)
+	}
+	a, b := orig.Links(), loaded.Links()
+	if len(a) != len(b) {
+		t.Fatalf("link counts differ: %d vs %d", len(a), len(b))
+	}
+	seen := map[Link]bool{}
+	for _, l := range a {
+		seen[l] = true
+	}
+	for _, l := range b {
+		if !seen[l] {
+			t.Fatalf("link %v not in original", l)
+		}
+	}
+	if err := loaded.ValidateRadixRegular(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadJSONRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"radix":4,"terms_per_leaf":2,"level_sizes":[2,2],"links":[[0,99]]}`, // out of range
+		`{"radix":4,"terms_per_leaf":2,"level_sizes":[2,2],"links":[[0,1]]}`,  // same level link
+		`{"radix":4,"terms_per_leaf":2,"level_sizes":[2,2],"links":[]}`,       // unwired (invalid Clos)
+	}
+	for i, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: corrupt input accepted", i)
+		}
+	}
+}
+
+func TestWriteEdgeList(t *testing.T) {
+	c, err := NewCFT(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != c.Wires() {
+		t.Errorf("edge list has %d lines, want %d", len(lines), c.Wires())
+	}
+	if !strings.Contains(lines[0], " ") {
+		t.Errorf("malformed line %q", lines[0])
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	c, err := NewOFT(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "graph clos {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Errorf("malformed DOT output:\n%s", out)
+	}
+	if got := strings.Count(out, " -- "); got != c.Wires() {
+		t.Errorf("DOT has %d edges, want %d", got, c.Wires())
+	}
+	if got := strings.Count(out, "rank=same"); got != c.Levels() {
+		t.Errorf("DOT has %d ranks, want %d", got, c.Levels())
+	}
+}

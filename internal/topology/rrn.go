@@ -1,0 +1,105 @@
+package topology
+
+import (
+	"fmt"
+
+	"rfclos/internal/graph"
+	"rfclos/internal/rng"
+)
+
+// RRN is a random regular network: the Jellyfish-style direct topology the
+// paper uses as the random baseline. N switches form a random Δ-regular
+// graph; each switch additionally attaches TermsPerSwitch compute nodes, so
+// the switch radix is Δ + TermsPerSwitch.
+type RRN struct {
+	G              *graph.Graph
+	Degree         int
+	TermsPerSwitch int
+}
+
+// NewRRN generates a random regular network with n switches of network
+// degree d and t terminals per switch.
+func NewRRN(n, d, t int, r *rng.Rand) (*RRN, error) {
+	if t < 0 {
+		return nil, fmt.Errorf("topology: RRN terminals per switch %d < 0", t)
+	}
+	g, err := graph.RandomRegular(n, d, r)
+	if err != nil {
+		return nil, fmt.Errorf("topology: RRN(%d,%d): %w", n, d, err)
+	}
+	return &RRN{G: g, Degree: d, TermsPerSwitch: t}, nil
+}
+
+// N returns the switch count.
+func (r *RRN) N() int { return r.G.N() }
+
+// Radix returns the switch radix (network ports + terminal ports).
+func (r *RRN) Radix() int { return r.Degree + r.TermsPerSwitch }
+
+// Terminals returns the total number of compute nodes.
+func (r *RRN) Terminals() int { return r.G.N() * r.TermsPerSwitch }
+
+// Wires returns the number of switch-to-switch links.
+func (r *RRN) Wires() int { return r.G.M() }
+
+// TotalPorts counts network ports plus terminal ports, the Figure 7 cost
+// measure.
+func (r *RRN) TotalPorts() int { return 2*r.G.M() + r.Terminals() }
+
+// Diameter returns the exact switch-graph diameter (-1 when disconnected).
+func (r *RRN) Diameter() int { return r.G.Diameter() }
+
+// Expand grows the RRN to n2 switches (n2 >= N) preserving degree d, using
+// the Jellyfish incremental expansion procedure: each new switch is wired by
+// repeatedly removing a random existing edge {u, v} and adding {u, new} and
+// {new, v}, until the new switch reaches full degree. Returns the number of
+// existing links that were rewired.
+func (r *RRN) Expand(n2 int, rnd *rng.Rand) (rewired int, err error) {
+	if n2 < r.G.N() {
+		return 0, fmt.Errorf("topology: RRN cannot shrink from %d to %d", r.G.N(), n2)
+	}
+	if r.Degree < 2 || r.Degree%2 != 0 {
+		return 0, fmt.Errorf("topology: RRN expansion needs even degree >= 2, got %d", r.Degree)
+	}
+	old := r.G
+	g := graph.New(n2)
+	for _, e := range old.Edges() {
+		g.AddEdge(int(e.U), int(e.V))
+	}
+	for v := old.N(); v < n2; v++ {
+		for g.Degree(v)+1 < r.Degree {
+			// Pick a random existing edge not incident to v and splice v in.
+			u, w, ok := randomEdgeAvoiding(g, v, rnd)
+			if !ok {
+				return rewired, fmt.Errorf("topology: RRN expansion stuck at switch %d", v)
+			}
+			g.RemoveEdge(u, w)
+			g.AddEdge(u, v)
+			g.AddEdge(v, w)
+			rewired++
+		}
+	}
+	r.G = g
+	return rewired, nil
+}
+
+// randomEdgeAvoiding returns a uniformly random edge {u, w} with u != v,
+// w != v, and neither u nor w already adjacent to v.
+func randomEdgeAvoiding(g *graph.Graph, v int, rnd *rng.Rand) (int, int, bool) {
+	edges := g.Edges()
+	// Try random probes first, then fall back to a scan.
+	for try := 0; try < 64; try++ {
+		e := edges[rnd.Intn(len(edges))]
+		u, w := int(e.U), int(e.V)
+		if u != v && w != v && !g.HasEdge(u, v) && !g.HasEdge(w, v) {
+			return u, w, true
+		}
+	}
+	for _, e := range edges {
+		u, w := int(e.U), int(e.V)
+		if u != v && w != v && !g.HasEdge(u, v) && !g.HasEdge(w, v) {
+			return u, w, true
+		}
+	}
+	return 0, 0, false
+}
