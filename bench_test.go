@@ -40,15 +40,17 @@ func BenchmarkFig7Expandability(b *testing.B) {
 	}
 }
 
-// benchSweep runs a single-load single-pattern reduced sweep of one §6
-// scenario.
-func benchSweep(b *testing.B, scenario int) {
+// benchSweep runs a reduced sweep of one §6 scenario on a worker pool of
+// the given size (0 = one worker per CPU). Serial and parallel variants
+// produce identical reports; only wall-clock differs.
+func benchSweep(b *testing.B, scenario, workers int) {
 	b.Helper()
 	opts := SimOptions{
-		Loads: []float64{0.6},
-		Reps:  1,
-		Sim:   simnet.Config{WarmupCycles: 200, MeasureCycles: 600},
-		Seed:  uint64(scenario + 1),
+		Loads:   []float64{0.4, 0.6},
+		Reps:    2,
+		Sim:     simnet.Config{WarmupCycles: 200, MeasureCycles: 600},
+		Seed:    uint64(scenario + 1),
+		Workers: workers,
 	}
 	opts.Patterns = []string{"uniform"}
 	for i := 0; i < b.N; i++ {
@@ -62,9 +64,11 @@ func benchSweep(b *testing.B, scenario int) {
 	}
 }
 
-func BenchmarkFig8Scenario11K(b *testing.B)   { benchSweep(b, 0) }
-func BenchmarkFig9Scenario100K(b *testing.B)  { benchSweep(b, 1) }
-func BenchmarkFig10Scenario200K(b *testing.B) { benchSweep(b, 2) }
+func BenchmarkFig8Scenario11K(b *testing.B)          { benchSweep(b, 0, 1) }
+func BenchmarkFig8Scenario11KParallel(b *testing.B)  { benchSweep(b, 0, 0) }
+func BenchmarkFig9Scenario100K(b *testing.B)         { benchSweep(b, 1, 1) }
+func BenchmarkFig9Scenario100KParallel(b *testing.B) { benchSweep(b, 1, 0) }
+func BenchmarkFig10Scenario200K(b *testing.B)        { benchSweep(b, 2, 1) }
 
 func BenchmarkFig11UpDownFaults(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -110,7 +114,7 @@ func BenchmarkTable3Disconnect(b *testing.B) {
 
 func BenchmarkThm42MonteCarlo(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := Thm42(120, 20, 9)
+		rep, err := Thm42(120, 20, 0, 9)
 		if err != nil {
 			b.Fatal(err)
 		}

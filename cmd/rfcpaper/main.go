@@ -18,12 +18,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"rfclos"
 	"rfclos/internal/analysis"
+	"rfclos/internal/engine"
 )
 
 func main() {
@@ -36,6 +38,7 @@ func main() {
 		reps     = flag.Int("reps", 0, "simulation repetitions per point (0 = default)")
 		loads    = flag.String("loads", "", "comma-separated offered loads for fig8-10 (default sweep 0.1..1.0)")
 		patterns = flag.String("patterns", "", "comma-separated traffic patterns for fig8-10 (default all three)")
+		workers  = flag.Int("workers", runtime.NumCPU(), "worker pool size for simulation/Monte-Carlo jobs (results are identical for any value)")
 		infSink  = flag.Bool("infsink", false, "model infinite reception bandwidth (see simnet.Config.InfiniteSink)")
 		asCSV    = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		quiet    = flag.Bool("quiet", false, "suppress progress lines")
@@ -47,6 +50,7 @@ func main() {
 		trials:  *trials,
 		cycles:  *cycles,
 		reps:    *reps,
+		workers: *workers,
 		infSink: *infSink,
 		asCSV:   *asCSV,
 		quiet:   *quiet,
@@ -76,6 +80,7 @@ type runner struct {
 	trials   int
 	cycles   int
 	reps     int
+	workers  int
 	loads    []float64
 	patterns []string
 	infSink  bool
@@ -83,16 +88,19 @@ type runner struct {
 	quiet    bool
 }
 
+// progress returns a fresh counting/timing progress sink ("[n 1.23s] msg"
+// lines on stderr), safe for concurrent use by worker goroutines. Each
+// exhibit gets its own counter.
 func (r runner) progress() func(string) {
 	if r.quiet {
 		return nil
 	}
-	return func(s string) { fmt.Fprintln(os.Stderr, "  ...", s) }
+	return engine.Progress(func(s string) { fmt.Fprintln(os.Stderr, "  ...", s) })
 }
 
 func (r runner) simOptions() analysis.SimOptions {
 	opts := analysis.SimOptions{
-		Seed: r.seed, Reps: r.reps, Progress: r.progress(),
+		Seed: r.seed, Reps: r.reps, Workers: r.workers, Progress: r.progress(),
 		Loads: r.loads, Patterns: r.patterns,
 	}
 	opts.Sim.InfiniteSink = r.infSink
@@ -146,7 +154,7 @@ func (r runner) run(exhibit string) error {
 		if r.trials > 0 {
 			tr = r.trials
 		}
-		rep, err := rfclos.Thm42(n1, tr, r.seed)
+		rep, err := rfclos.Thm42(n1, tr, r.workers, r.seed)
 		if err := emit(rep, err); err != nil {
 			return err
 		}
@@ -160,7 +168,7 @@ func (r runner) run(exhibit string) error {
 		}
 	}
 	if all || exhibit == "fig11" {
-		opts := rfclos.Fig11Options{Radix: 12, Seed: r.seed}
+		opts := rfclos.Fig11Options{Radix: 12, Seed: r.seed, Workers: r.workers}
 		if r.trials > 0 {
 			opts.Trials = r.trials
 		}
@@ -170,7 +178,7 @@ func (r runner) run(exhibit string) error {
 		}
 	}
 	if all || exhibit == "fig12" {
-		opts := rfclos.Fig12Options{Scale: r.scale, Seed: r.seed, Reps: r.reps, Progress: r.progress()}
+		opts := rfclos.Fig12Options{Scale: r.scale, Seed: r.seed, Reps: r.reps, Workers: r.workers, Progress: r.progress()}
 		if r.cycles > 0 {
 			opts.Sim.MeasureCycles = r.cycles
 			opts.Sim.WarmupCycles = r.cycles / 4
@@ -181,7 +189,7 @@ func (r runner) run(exhibit string) error {
 		}
 	}
 	if all || exhibit == "ablation" {
-		opts := rfclos.AblationOptions{Scale: r.scale, Seed: r.seed, Reps: r.reps}
+		opts := rfclos.AblationOptions{Scale: r.scale, Seed: r.seed, Reps: r.reps, Workers: r.workers}
 		if r.cycles > 0 {
 			opts.Sim.MeasureCycles = r.cycles
 			opts.Sim.WarmupCycles = r.cycles / 4
@@ -199,7 +207,7 @@ func (r runner) run(exhibit string) error {
 		}
 	}
 	if all || exhibit == "adversarial" {
-		opts := rfclos.AdversarialOptions{Scale: r.scale, Seed: r.seed, Reps: r.reps}
+		opts := rfclos.AdversarialOptions{Scale: r.scale, Seed: r.seed, Reps: r.reps, Workers: r.workers}
 		if r.cycles > 0 {
 			opts.Sim.MeasureCycles = r.cycles
 			opts.Sim.WarmupCycles = r.cycles / 4
@@ -216,7 +224,7 @@ func (r runner) run(exhibit string) error {
 		}
 	}
 	if all || exhibit == "jellyfish" {
-		opts := rfclos.JellyfishOptions{Scale: r.scale, Seed: r.seed, Reps: r.reps, Loads: r.loads}
+		opts := rfclos.JellyfishOptions{Scale: r.scale, Seed: r.seed, Reps: r.reps, Workers: r.workers, Loads: r.loads}
 		if r.cycles > 0 {
 			opts.Sim.MeasureCycles = r.cycles
 			opts.Sim.WarmupCycles = r.cycles / 4
@@ -227,7 +235,7 @@ func (r runner) run(exhibit string) error {
 		}
 	}
 	if all || exhibit == "table3" {
-		opts := rfclos.Table3Options{Seed: r.seed}
+		opts := rfclos.Table3Options{Seed: r.seed, Workers: r.workers}
 		if r.trials > 0 {
 			opts.Trials = r.trials
 		}

@@ -5,16 +5,26 @@
 //
 //	rfcsim -topo rfc -radix 16 -levels 3 -leaves 128 -pattern uniform -load 0.7
 //	rfcsim -topo cft -radix 16 -levels 3 -pattern random-pairing -load 1.0 -faults 200
+//	rfcsim -topo rfc -radix 16 -levels 3 -pattern uniform -load 0.9 -reps 8 -workers 4
+//
+// With -reps > 1 the point is repeated with independent repetition streams
+// on a worker pool and the summary reports mean ± stddev; the numbers are
+// identical for any -workers value.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"runtime"
 
 	"rfclos"
 	"rfclos/internal/analysis"
+	"rfclos/internal/engine"
+	"rfclos/internal/metrics"
 	"rfclos/internal/rng"
+	"rfclos/internal/traffic"
 )
 
 func main() {
@@ -29,16 +39,26 @@ func main() {
 		warmup  = flag.Int("warmup", 2000, "warm-up cycles")
 		cycles  = flag.Int("cycles", 10000, "measured cycles")
 		faults  = flag.Int("faults", 0, "random links to remove before simulating")
+		reps    = flag.Int("reps", 1, "independent repetitions of the point (mean ± stddev when > 1)")
+		workers = flag.Int("workers", runtime.NumCPU(), "worker pool size for repetitions (results identical for any value)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 	)
 	flag.Parse()
-	if err := run(*topo, *radix, *levels, *leaves, *q, *pattern, *load, *warmup, *cycles, *faults, *seed); err != nil {
+	if err := run(*topo, *radix, *levels, *leaves, *q, *pattern, *load,
+		*warmup, *cycles, *faults, *reps, *workers, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "rfcsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topo string, radix, levels, leaves, q int, pattern string, load float64, warmup, cycles, faults int, seed uint64) error {
+func run(topo string, radix, levels, leaves, q int, pattern string, load float64,
+	warmup, cycles, faults, reps, workers int, seed uint64) error {
+	if seed == 0 {
+		seed = 1
+	}
+	if reps <= 0 {
+		reps = 1
+	}
 	var (
 		c      *rfclos.Clos
 		router *rfclos.Router
@@ -74,26 +94,51 @@ func run(topo string, radix, levels, leaves, q int, pattern string, load float64
 	}
 
 	if faults > 0 {
-		analysis.RemoveRandomLinks(c, faults, rng.New(seed+1))
+		analysis.RemoveRandomLinks(c, faults, rng.At(seed, rng.StringCoord("rfcsim/faults")))
 		router.Rebuild()
 		fmt.Printf("# removed %d links; up/down routable: %v\n", faults, router.Routable())
 	}
 
-	pat, err := rfclos.NewTraffic(pattern, c.Terminals(), seed+2)
+	fmt.Printf("# %v\n# pattern=%s load=%.3f warmup=%d cycles=%d reps=%d\n",
+		c, pattern, load, warmup, cycles, reps)
+	// Each repetition draws its traffic pattern and simulator seed from a
+	// stream derived from (seed, "rfcsim/run", rep), so the outcome is a
+	// pure function of the flags, independent of the worker count.
+	results, err := engine.Run(reps, workers, func(rep int) (rfclos.SimResult, error) {
+		stream := rng.At(seed, rng.StringCoord("rfcsim/run"), uint64(rep))
+		pat, err := traffic.New(pattern, c.Terminals(), stream)
+		if err != nil {
+			return rfclos.SimResult{}, err
+		}
+		cfg := rfclos.DefaultSimConfig()
+		cfg.WarmupCycles = warmup
+		cfg.MeasureCycles = cycles
+		cfg.Seed = stream.Uint64()
+		return rfclos.Simulate(c, router, pat, load, cfg), nil
+	})
 	if err != nil {
 		return err
 	}
-	cfg := rfclos.DefaultSimConfig()
-	cfg.WarmupCycles = warmup
-	cfg.MeasureCycles = cycles
-	cfg.Seed = seed + 3
 
-	fmt.Printf("# %v\n# pattern=%s load=%.3f warmup=%d cycles=%d\n", c, pattern, load, warmup, cycles)
-	res := rfclos.Simulate(c, router, pat, load, cfg)
-	fmt.Printf("accepted   %.4f phits/node/cycle\n", res.AcceptedLoad)
-	fmt.Printf("latency    avg %.1f  p50 %.0f  p95 %.0f  p99 %.0f  max %.0f cycles\n",
-		res.AvgLatency, res.P50Latency, res.P95Latency, res.P99Latency, res.MaxLatency)
-	fmt.Printf("packets    generated %d  delivered %d  dropped-at-source %d  unroutable %d\n",
-		res.Generated, res.Delivered, res.DroppedAtSource, res.UnroutableDrops)
+	if reps == 1 {
+		res := results[0]
+		fmt.Printf("accepted   %.4f phits/node/cycle\n", res.AcceptedLoad)
+		fmt.Printf("latency    avg %.1f  p50 %.0f  p95 %.0f  p99 %.0f  max %.0f cycles\n",
+			res.AvgLatency, res.P50Latency, res.P95Latency, res.P99Latency, res.MaxLatency)
+		fmt.Printf("packets    generated %d  delivered %d  dropped-at-source %d  unroutable %d\n",
+			res.Generated, res.Delivered, res.DroppedAtSource, res.UnroutableDrops)
+		return nil
+	}
+	var acc, lat, p99 metrics.Summary
+	maxLat := 0.0
+	for _, res := range results {
+		acc.Add(res.AcceptedLoad)
+		lat.Add(res.AvgLatency)
+		p99.Add(res.P99Latency)
+		maxLat = math.Max(maxLat, res.MaxLatency)
+	}
+	fmt.Printf("accepted   %.4f ± %.4f phits/node/cycle\n", acc.Mean(), acc.StdDev())
+	fmt.Printf("latency    avg %.1f ± %.1f  p99 %.0f ± %.0f  max %.0f cycles\n",
+		lat.Mean(), lat.StdDev(), p99.Mean(), p99.StdDev(), maxLat)
 	return nil
 }

@@ -16,7 +16,7 @@ func TestFacadeSmoke(t *testing.T) {
 	if _, err := NewGeneralRFC(NewHashnetParams(8, 3, 4, 4), 1); err != nil {
 		t.Errorf("NewGeneralRFC: %v", err)
 	}
-	if rep, err := Thm42(60, 10, 1); err != nil || len(rep.Rows) == 0 {
+	if rep, err := Thm42(60, 10, 0, 1); err != nil || len(rep.Rows) == 0 {
 		t.Errorf("Thm42: %v", err)
 	}
 	if rep, err := Table3Disconnect(Table3Options{Targets: []int{256}, Trials: 5, Seed: 1}); err != nil || len(rep.Rows) != 1 {

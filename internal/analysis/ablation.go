@@ -3,7 +3,9 @@ package analysis
 import (
 	"fmt"
 
+	"rfclos/internal/engine"
 	"rfclos/internal/metrics"
+	"rfclos/internal/rng"
 	"rfclos/internal/simnet"
 	"rfclos/internal/traffic"
 )
@@ -14,7 +16,17 @@ type AblationOptions struct {
 	Load  float64 // offered load, default 0.9 (near saturation, where the knobs matter)
 	Reps  int
 	Sim   simnet.Config
-	Seed  uint64
+	// Workers sizes the worker pool the (knob × value × rep) grid fans out
+	// on; 0 means one per CPU. The report is identical for any worker count.
+	Workers int
+	Seed    uint64
+}
+
+// ablationSpec is one knob setting of the ablation grid.
+type ablationSpec struct {
+	knob   string
+	value  int
+	mutate func(*simnet.Config)
 }
 
 // Ablations quantifies the simulator/routing design choices DESIGN.md calls
@@ -26,7 +38,9 @@ type AblationOptions struct {
 //     larger trades adaptivity for simulation speed).
 //
 // Each row reports accepted load and latency at the configured offered
-// load under uniform traffic.
+// load under uniform traffic. The whole (knob, value, rep) grid runs as
+// independent jobs on the worker pool, each drawing its stream from its own
+// coordinates, so the report is byte-identical for any opts.Workers.
 func Ablations(opts AblationOptions) (*Report, error) {
 	if opts.Scale == "" {
 		opts.Scale = ScaleSmall
@@ -37,9 +51,48 @@ func Ablations(opts AblationOptions) (*Report, error) {
 	if opts.Reps <= 0 {
 		opts.Reps = 2
 	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
 	sc := Scenarios(opts.Scale)[0]
-	master := newSeeded(opts.Seed + 77)
-	rfc, ud, err := buildRoutableRFC(sc.RFC, master)
+	rfc, ud, err := buildRoutableRFC(sc.RFC, rng.At(opts.Seed, rng.StringCoord("ablation/topology/RFC")))
+	if err != nil {
+		return nil, err
+	}
+
+	var specs []ablationSpec
+	for _, vcs := range []int{1, 2, 4, 8} {
+		vcs := vcs
+		specs = append(specs, ablationSpec{"virtual-channels", vcs, func(c *simnet.Config) { c.VCs = vcs }})
+	}
+	for _, buf := range []int{1, 2, 4, 8} {
+		buf := buf
+		specs = append(specs, ablationSpec{"buffer-packets", buf, func(c *simnet.Config) { c.BufferPackets = buf }})
+	}
+	for _, rr := range []int{1, 4, 16} {
+		rr := rr
+		specs = append(specs, ablationSpec{"request-refresh", rr, func(c *simnet.Config) { c.RequestRefresh = rr }})
+	}
+	// Routing policy: 0 = random per-request (Table 2), 1 = deterministic
+	// D-mod-K flow hashing.
+	specs = append(specs,
+		ablationSpec{"hash-routing", 0, func(c *simnet.Config) { c.HashRouting = false }},
+		ablationSpec{"hash-routing", 1, func(c *simnet.Config) { c.HashRouting = true }})
+	// Reception model: 0 = 1 phit/cycle NIC, 1 = infinite sink.
+	specs = append(specs,
+		ablationSpec{"infinite-sink", 0, func(c *simnet.Config) { c.InfiniteSink = false }},
+		ablationSpec{"infinite-sink", 1, func(c *simnet.Config) { c.InfiniteSink = true }})
+
+	type outcome struct{ acc, lat float64 }
+	results, err := engine.Run(len(specs)*opts.Reps, opts.Workers, func(i int) (outcome, error) {
+		spec, rep := specs[i/opts.Reps], i%opts.Reps
+		stream := rng.At(opts.Seed, rng.StringCoord("ablation/"+spec.knob), uint64(spec.value), uint64(rep))
+		cfg := opts.Sim
+		spec.mutate(&cfg)
+		cfg.Seed = stream.Uint64()
+		res := simnet.New(rfc, ud, traffic.NewUniform(rfc.Terminals()), cfg).Run(opts.Load)
+		return outcome{acc: res.AcceptedLoad, lat: res.AvgLatency}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -49,34 +102,14 @@ func Ablations(opts AblationOptions) (*Report, error) {
 			opts.Scale, opts.Load),
 		Header: []string{"knob", "value", "accepted", "latency"},
 	}
-	run := func(knob string, value int, mutate func(*simnet.Config)) {
+	for si, spec := range specs {
 		var acc, lat metrics.Summary
-		for i := 0; i < opts.Reps; i++ {
-			stream := master.Split()
-			cfg := opts.Sim
-			mutate(&cfg)
-			cfg.Seed = stream.Uint64()
-			res := simnet.New(rfc, ud, traffic.NewUniform(rfc.Terminals()), cfg).Run(opts.Load)
-			acc.Add(res.AcceptedLoad)
-			lat.Add(res.AvgLatency)
+		for rep := 0; rep < opts.Reps; rep++ {
+			o := results[si*opts.Reps+rep]
+			acc.Add(o.acc)
+			lat.Add(o.lat)
 		}
-		rep.AddRow(knob, itoa(value), fmt.Sprintf("%.4f", acc.Mean()), fmt.Sprintf("%.1f", lat.Mean()))
+		rep.AddRow(spec.knob, itoa(spec.value), fmt.Sprintf("%.4f", acc.Mean()), fmt.Sprintf("%.1f", lat.Mean()))
 	}
-	for _, vcs := range []int{1, 2, 4, 8} {
-		run("virtual-channels", vcs, func(c *simnet.Config) { c.VCs = vcs })
-	}
-	for _, buf := range []int{1, 2, 4, 8} {
-		run("buffer-packets", buf, func(c *simnet.Config) { c.BufferPackets = buf })
-	}
-	for _, rr := range []int{1, 4, 16} {
-		run("request-refresh", rr, func(c *simnet.Config) { c.RequestRefresh = rr })
-	}
-	// Routing policy: 0 = random per-request (Table 2), 1 = deterministic
-	// D-mod-K flow hashing.
-	run("hash-routing", 0, func(c *simnet.Config) { c.HashRouting = false })
-	run("hash-routing", 1, func(c *simnet.Config) { c.HashRouting = true })
-	// Reception model: 0 = 1 phit/cycle NIC, 1 = infinite sink.
-	run("infinite-sink", 0, func(c *simnet.Config) { c.InfiniteSink = false })
-	run("infinite-sink", 1, func(c *simnet.Config) { c.InfiniteSink = true })
 	return rep, nil
 }

@@ -216,7 +216,7 @@ func TestCostsReport(t *testing.T) {
 }
 
 func TestThm42Report(t *testing.T) {
-	rep, err := Thm42(120, 30, 9)
+	rep, err := Thm42(120, 30, 0, 9)
 	if err != nil {
 		t.Fatal(err)
 	}

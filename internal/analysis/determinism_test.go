@@ -1,0 +1,82 @@
+package analysis
+
+// Regression tests for the engine's central contract: every sweep is a pure
+// function of (seed, job coordinates), so running the same experiment on 1
+// worker or many produces byte-identical reports. A failure here means some
+// job is drawing randomness from a shared or order-dependent stream.
+
+import (
+	"testing"
+
+	"rfclos/internal/core"
+	"rfclos/internal/simnet"
+)
+
+// reportText renders a report the way cmd/rfcpaper prints it; comparing the
+// formatted text catches any divergence, including row order.
+func reportText(t *testing.T, run func() (*Report, error)) string {
+	t.Helper()
+	rep, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Format()
+}
+
+func TestScenarioSweepWorkerInvariance(t *testing.T) {
+	sc := Scenario{
+		Name: "tiny",
+		CFT:  CFTSpec{Radix: 8, Levels: 3, TermsPerLeaf: 4},
+		RFC:  core.Params{Radix: 8, Levels: 3, Leaves: 32},
+	}
+	opts := SimOptions{
+		Loads:    []float64{0.2, 0.6},
+		Reps:     2,
+		Patterns: []string{"uniform"},
+		Sim:      simnet.Config{WarmupCycles: 100, MeasureCycles: 300},
+		Seed:     21,
+	}
+	opts.Workers = 1
+	serial := reportText(t, func() (*Report, error) { return ScenarioSweep(sc, opts) })
+	opts.Workers = 8
+	parallel := reportText(t, func() (*Report, error) { return ScenarioSweep(sc, opts) })
+	if serial != parallel {
+		t.Errorf("ScenarioSweep differs between workers=1 and workers=8:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", serial, parallel)
+	}
+}
+
+func TestFig12WorkerInvariance(t *testing.T) {
+	opts := Fig12Options{
+		Scale:      ScaleSmall,
+		FaultSteps: 1,
+		Reps:       2,
+		Sim:        simnet.Config{WarmupCycles: 100, MeasureCycles: 300},
+		Seed:       23,
+	}
+	opts.Workers = 1
+	serial := reportText(t, func() (*Report, error) { return Fig12FaultThroughput(opts) })
+	opts.Workers = 8
+	parallel := reportText(t, func() (*Report, error) { return Fig12FaultThroughput(opts) })
+	if serial != parallel {
+		t.Errorf("Fig12FaultThroughput differs between workers=1 and workers=8:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", serial, parallel)
+	}
+}
+
+func TestTable3WorkerInvariance(t *testing.T) {
+	opts := Table3Options{Targets: []int{256}, Trials: 8, Seed: 25}
+	opts.Workers = 1
+	serial := reportText(t, func() (*Report, error) { return Table3Disconnect(opts) })
+	opts.Workers = 8
+	parallel := reportText(t, func() (*Report, error) { return Table3Disconnect(opts) })
+	if serial != parallel {
+		t.Errorf("Table3Disconnect differs between workers=1 and workers=8:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", serial, parallel)
+	}
+}
+
+func TestThm42WorkerInvariance(t *testing.T) {
+	serial := reportText(t, func() (*Report, error) { return Thm42(60, 12, 1, 27) })
+	parallel := reportText(t, func() (*Report, error) { return Thm42(60, 12, 8, 27) })
+	if serial != parallel {
+		t.Errorf("Thm42 differs between workers=1 and workers=8:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", serial, parallel)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"rfclos/internal/core"
 	"rfclos/internal/gf"
+	"rfclos/internal/rng"
 	"rfclos/internal/topology"
 )
 
@@ -215,13 +216,19 @@ func Costs() *Report {
 // Thm42 reproduces the Theorem 4.2 probability curve empirically: for a
 // 2-level RFC of n1 leaves, it sweeps the radix across the threshold and
 // reports empirical routability frequency against the asymptotic
-// e^{-e^{-x}} and the exact finite-size Poisson prediction.
-func Thm42(n1, trials int, seed uint64) (*Report, error) {
+// e^{-e^{-x}} and the exact finite-size Poisson prediction. The Monte-Carlo
+// trials of every radix row fan out on a worker pool (workers <= 0 means
+// one per CPU); each trial's generator is derived from (seed, radix, trial),
+// so the report is byte-identical for any worker count.
+func Thm42(n1, trials, workers int, seed uint64) (*Report, error) {
 	if n1 <= 0 {
 		n1 = 200
 	}
 	if trials <= 0 {
 		trials = 100
+	}
+	if seed == 0 {
+		seed = 1
 	}
 	rep := &Report{
 		Title: fmt.Sprintf("Theorem 4.2 Monte-Carlo (2-level RFC, N1=%d, %d trials/row)", n1, trials),
@@ -231,7 +238,6 @@ func Thm42(n1, trials int, seed uint64) (*Report, error) {
 		},
 		Header: []string{"radix", "x", "empirical", "asymptotic", "exact"},
 	}
-	r := newSeeded(seed)
 	thr := core.ThresholdRadix(n1, 2)
 	lo := int(thr*0.8) &^ 1
 	hi := int(thr*1.25) &^ 1
@@ -240,7 +246,8 @@ func Thm42(n1, trials int, seed uint64) (*Report, error) {
 		if p.Validate() != nil {
 			continue
 		}
-		emp, err := core.EstimateUpDownProbability(p, trials, r)
+		rowSeed := rng.DeriveSeed(seed, rng.StringCoord("thm42"), uint64(radix))
+		emp, err := core.EstimateUpDownProbabilityParallel(p, trials, workers, rowSeed)
 		if err != nil {
 			return nil, err
 		}

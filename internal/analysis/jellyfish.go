@@ -2,8 +2,11 @@ package analysis
 
 import (
 	"fmt"
+	"math"
 
+	"rfclos/internal/engine"
 	"rfclos/internal/metrics"
+	"rfclos/internal/rng"
 	"rfclos/internal/simdirect"
 	"rfclos/internal/simnet"
 	"rfclos/internal/topology"
@@ -16,7 +19,10 @@ type JellyfishOptions struct {
 	Loads []float64
 	Reps  int
 	Sim   simnet.Config // Table 2 parameters, shared by both simulators
-	Seed  uint64
+	// Workers sizes the worker pool the (network × load × rep) grid fans
+	// out on; 0 means one per CPU. The report is identical for any count.
+	Workers int
+	Seed    uint64
 }
 
 // Jellyfish runs the comparison the paper declines to simulate (§6): the
@@ -32,7 +38,9 @@ type JellyfishOptions struct {
 // The direct networks route ECMP-shortest with hop-indexed virtual
 // channels for deadlock freedom — the extra mechanism (VCs >= diameter)
 // that the paper's §1/§6 cost argument is about; the report records the VC
-// requirement next to the throughput.
+// requirement next to the throughput. The (network × load × rep) grid runs
+// on the worker pool with coordinate-derived per-job streams, so the report
+// is byte-identical for any opts.Workers.
 func Jellyfish(opts JellyfishOptions) (*Report, error) {
 	if opts.Scale == "" {
 		opts.Scale = ScaleSmall
@@ -43,16 +51,19 @@ func Jellyfish(opts JellyfishOptions) (*Report, error) {
 	if opts.Reps <= 0 {
 		opts.Reps = 2
 	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
 	sc := Scenarios(opts.Scale)[0]
-	master := newSeeded(opts.Seed + 31)
 
-	rfc, rud, err := buildRoutableRFC(sc.RFC, master)
+	rfc, rud, err := buildRoutableRFC(sc.RFC, rng.At(opts.Seed, rng.StringCoord("jellyfish/topology/RFC")))
 	if err != nil {
 		return nil, err
 	}
 	// Equal-T RRN (minimal radix for the same terminals at diameter 4).
 	spec := rrnSpecFor(sc.RFC.Terminals(), 4)
-	eqT, err := topology.NewRRN(spec.N, spec.Degree, spec.TermsPerSwitch, master)
+	eqT, err := topology.NewRRN(spec.N, spec.Degree, spec.TermsPerSwitch,
+		rng.At(opts.Seed, rng.StringCoord("jellyfish/topology/RRN-eqT")))
 	if err != nil {
 		return nil, err
 	}
@@ -65,7 +76,54 @@ func Jellyfish(opts JellyfishOptions) (*Report, error) {
 	if (eqSwitches*deg)%2 != 0 {
 		eqSwitches++
 	}
-	eqEquip, err := topology.NewRRN(eqSwitches, deg, tps, master)
+	eqEquip, err := topology.NewRRN(eqSwitches, deg, tps,
+		rng.At(opts.Seed, rng.StringCoord("jellyfish/topology/RRN-eqEquip")))
+	if err != nil {
+		return nil, err
+	}
+
+	// The three rows of the comparison; rrn == nil marks the RFC row,
+	// which runs on the indirect-network simulator.
+	rows := []struct {
+		name string
+		rrn  *topology.RRN
+	}{
+		{fmt.Sprintf("RFC-R%d", sc.RFC.Radix), nil},
+		{fmt.Sprintf("RRN-eqT-R%d", spec.Radix()), eqT},
+		{fmt.Sprintf("RRN-eqEquip-R%d", eqRadix), eqEquip},
+	}
+
+	type outcome struct{ acc, lat float64 }
+	perRow := len(opts.Loads) * opts.Reps
+	results, err := engine.Run(len(rows)*perRow, opts.Workers, func(i int) (outcome, error) {
+		row := rows[i/perRow]
+		load := opts.Loads[(i%perRow)/opts.Reps]
+		rep := i % opts.Reps
+		stream := rng.At(opts.Seed, rng.StringCoord("jellyfish/"+row.name),
+			math.Float64bits(load), uint64(rep))
+		if row.rrn == nil {
+			cfg := opts.Sim
+			cfg.Seed = stream.Uint64()
+			res := simnet.New(rfc, rud, traffic.NewUniform(rfc.Terminals()), cfg).Run(load)
+			return outcome{res.AcceptedLoad, res.AvgLatency}, nil
+		}
+		cfg := simdirect.Config{
+			VCs:            16, // covers any small-network diameter
+			BufferPackets:  opts.Sim.BufferPackets,
+			PacketLength:   opts.Sim.PacketLength,
+			LinkLatency:    opts.Sim.LinkLatency,
+			WarmupCycles:   opts.Sim.WarmupCycles,
+			MeasureCycles:  opts.Sim.MeasureCycles,
+			SourceQueueCap: opts.Sim.SourceQueueCap,
+			Seed:           stream.Uint64(),
+		}
+		sim, err := simdirect.New(row.rrn, traffic.NewUniform(row.rrn.Terminals()), cfg)
+		if err != nil {
+			return outcome{}, err
+		}
+		res := sim.Run(load)
+		return outcome{res.AcceptedLoad, res.AvgLatency}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -82,50 +140,15 @@ func Jellyfish(opts JellyfishOptions) (*Report, error) {
 		},
 		Header: []string{"network", "load", "accepted", "latency"},
 	}
-
-	for _, load := range opts.Loads {
-		var acc, lat metrics.Summary
-		for i := 0; i < opts.Reps; i++ {
-			stream := master.Split()
-			cfg := opts.Sim
-			cfg.Seed = stream.Uint64()
-			res := simnet.New(rfc, rud, traffic.NewUniform(rfc.Terminals()), cfg).Run(load)
-			acc.Add(res.AcceptedLoad)
-			lat.Add(res.AvgLatency)
-		}
-		rep.AddRow(fmt.Sprintf("RFC-R%d", sc.RFC.Radix), ftoa(load),
-			fmt.Sprintf("%.4f", acc.Mean()), fmt.Sprintf("%.1f", lat.Mean()))
-	}
-	for _, rr := range []struct {
-		name string
-		net  *topology.RRN
-	}{
-		{fmt.Sprintf("RRN-eqT-R%d", spec.Radix()), eqT},
-		{fmt.Sprintf("RRN-eqEquip-R%d", eqRadix), eqEquip},
-	} {
-		for _, load := range opts.Loads {
+	for ri, row := range rows {
+		for li, load := range opts.Loads {
 			var acc, lat metrics.Summary
-			for i := 0; i < opts.Reps; i++ {
-				stream := master.Split()
-				cfg := simdirect.Config{
-					VCs:            16, // covers any small-network diameter
-					BufferPackets:  opts.Sim.BufferPackets,
-					PacketLength:   opts.Sim.PacketLength,
-					LinkLatency:    opts.Sim.LinkLatency,
-					WarmupCycles:   opts.Sim.WarmupCycles,
-					MeasureCycles:  opts.Sim.MeasureCycles,
-					SourceQueueCap: opts.Sim.SourceQueueCap,
-					Seed:           stream.Uint64(),
-				}
-				sim, err := simdirect.New(rr.net, traffic.NewUniform(rr.net.Terminals()), cfg)
-				if err != nil {
-					return nil, err
-				}
-				res := sim.Run(load)
-				acc.Add(res.AcceptedLoad)
-				lat.Add(res.AvgLatency)
+			for r := 0; r < opts.Reps; r++ {
+				o := results[ri*perRow+li*opts.Reps+r]
+				acc.Add(o.acc)
+				lat.Add(o.lat)
 			}
-			rep.AddRow(rr.name, ftoa(load),
+			rep.AddRow(row.name, ftoa(load),
 				fmt.Sprintf("%.4f", acc.Mean()), fmt.Sprintf("%.1f", lat.Mean()))
 		}
 	}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"rfclos/internal/core"
+	"rfclos/internal/engine"
 	"rfclos/internal/metrics"
+	"rfclos/internal/rng"
 	"rfclos/internal/routing"
 	"rfclos/internal/simnet"
 	"rfclos/internal/topology"
@@ -15,12 +17,18 @@ import (
 type Table3Options struct {
 	Targets []int // terminal counts; default the paper's 512..8192
 	Trials  int   // removal orders averaged per cell (paper: 100)
+	// Workers sizes the worker pool the removal trials fan out on; 0 means
+	// one per CPU. The table is identical for any worker count.
+	Workers int
 	Seed    uint64
 }
 
 // Table3Disconnect reproduces Table 3: the average percentage of links that
 // must be randomly removed to disconnect a diameter-4 (3-level) network of
-// each topology, sized per the paper's rules for each terminal target.
+// each topology, sized per the paper's rules for each terminal target. Each
+// cell's removal trials run on the worker pool with per-trial seeds derived
+// from the cell coordinates (topology name, terminal target), so the report
+// is byte-identical for any opts.Workers.
 func Table3Disconnect(opts Table3Options) (*Report, error) {
 	if len(opts.Targets) == 0 {
 		opts.Targets = []int{512, 1024, 2048, 4096, 8192}
@@ -28,13 +36,24 @@ func Table3Disconnect(opts Table3Options) (*Report, error) {
 	if opts.Trials <= 0 {
 		opts.Trials = 100
 	}
-	r := newSeeded(opts.Seed)
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
 	rep := &Report{
 		Title: "Table 3: % of links removed to disconnect a diameter-4 network",
 		Notes: []string{
 			fmt.Sprintf("%d random removal orders per cell; radix chosen per topology as in §7", opts.Trials),
 		},
 		Header: []string{"~T", "CFT", "RRN", "RFC", "OFT"},
+	}
+	// cellSeed keys a cell's trial streams by topology name and target, so
+	// no two cells can share a removal order and the table is invariant to
+	// row or column reordering.
+	cellSeed := func(topo string, target int) uint64 {
+		return rng.DeriveSeed(opts.Seed, rng.StringCoord("table3/trials/"+topo), uint64(target))
+	}
+	genStream := func(topo string, target int) *rng.Rand {
+		return rng.At(opts.Seed, rng.StringCoord("table3/gen/"+topo), uint64(target))
 	}
 	for _, target := range opts.Targets {
 		row := []string{itoa(target)}
@@ -45,23 +64,23 @@ func Table3Disconnect(opts Table3Options) (*Report, error) {
 			return nil, err
 		}
 		row = append(row, fmt.Sprintf("%.1f%% (R=%d)",
-			100*AverageFaultsToDisconnect(cft.SwitchGraph(), opts.Trials, r), cftR))
+			100*AverageFaultsToDisconnectSeeded(cft.SwitchGraph(), opts.Trials, opts.Workers, cellSeed("CFT", target)), cftR))
 
 		spec := rrnSpecFor(target, 4)
-		rrn, err := topology.NewRRN(spec.N, spec.Degree, spec.TermsPerSwitch, r)
+		rrn, err := topology.NewRRN(spec.N, spec.Degree, spec.TermsPerSwitch, genStream("RRN", target))
 		if err != nil {
 			return nil, err
 		}
 		row = append(row, fmt.Sprintf("%.1f%% (R=%d)",
-			100*AverageFaultsToDisconnect(rrn.G, opts.Trials, r), spec.Radix()))
+			100*AverageFaultsToDisconnectSeeded(rrn.G, opts.Trials, opts.Workers, cellSeed("RRN", target)), spec.Radix()))
 
 		p := rfcParamsFor(target, 3)
-		rfc, err := core.Generate(p, r)
+		rfc, err := core.Generate(p, genStream("RFC", target))
 		if err != nil {
 			return nil, err
 		}
 		row = append(row, fmt.Sprintf("%.1f%% (R=%d)",
-			100*AverageFaultsToDisconnect(rfc.SwitchGraph(), opts.Trials, r), p.Radix))
+			100*AverageFaultsToDisconnectSeeded(rfc.SwitchGraph(), opts.Trials, opts.Workers, cellSeed("RFC", target)), p.Radix))
 
 		if q, ok := oftOrderFor(target, 3); ok {
 			oft, err := topology.NewOFT(q, 3)
@@ -69,7 +88,7 @@ func Table3Disconnect(opts Table3Options) (*Report, error) {
 				return nil, err
 			}
 			row = append(row, fmt.Sprintf("%.1f%% (R=%d)",
-				100*AverageFaultsToDisconnect(oft.SwitchGraph(), opts.Trials, r), 2*(q+1)))
+				100*AverageFaultsToDisconnectSeeded(oft.SwitchGraph(), opts.Trials, opts.Workers, cellSeed("OFT", target)), 2*(q+1)))
 		} else {
 			row = append(row, "-")
 		}
@@ -85,13 +104,28 @@ type Fig11Options struct {
 	// MaxLeavesCap bounds the largest RFC per level (the level-4 maximum
 	// is ~5,000 leaves at radix 12, heavy for one machine). 0 = default.
 	MaxLeavesCap int
-	Seed         uint64
+	// Workers sizes the worker pool for RFC generation and removal trials;
+	// 0 means one per CPU. The report is identical for any worker count.
+	Workers int
+	Seed    uint64
+}
+
+// fig11Point is one network point of the Figure 11 sweep: a series label,
+// its x coordinate (terminal count) and the network, nil when generation
+// failed (near/below threshold: 0 tolerance by definition, point skipped).
+type fig11Point struct {
+	series string
+	x      float64
+	c      *topology.Clos
 }
 
 // Fig11UpDownFaults reproduces Figure 11: the fraction of random link
 // failures tolerated while preserving up/down routing, for RFCs of 2, 3 and
 // 4 levels across sizes, with the CFT and OFT single points of the same
-// radix.
+// radix. The expensive RFC generations fan out over the worker pool, as do
+// each point's removal trials; generation and trial streams are derived
+// from the point coordinates, so the report is byte-identical for any
+// opts.Workers.
 func Fig11UpDownFaults(opts Fig11Options) (*Report, error) {
 	if opts.Radix <= 0 {
 		opts.Radix = 12
@@ -102,11 +136,18 @@ func Fig11UpDownFaults(opts Fig11Options) (*Report, error) {
 	if opts.MaxLeavesCap <= 0 {
 		opts.MaxLeavesCap = 1200
 	}
-	r := newSeeded(opts.Seed)
-	var series []metrics.Series
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
 
+	// RFC points: fix the parameter grid first (pure arithmetic), then
+	// generate every network on the worker pool with per-point streams.
+	type rfcSpec struct {
+		series string
+		p      core.Params
+	}
+	var specs []rfcSpec
 	for _, levels := range []int{2, 3, 4} {
-		s := metrics.Series{Name: fmt.Sprintf("RFC-%dL", levels)}
 		maxN1 := core.MaxLeaves(opts.Radix, levels)
 		if maxN1 > opts.MaxLeavesCap {
 			maxN1 = opts.MaxLeavesCap
@@ -120,28 +161,31 @@ func Fig11UpDownFaults(opts Fig11Options) (*Report, error) {
 			if p.Validate() != nil {
 				continue
 			}
-			c, _, _, err := core.GenerateRoutable(p, 50, r)
-			if err != nil {
-				continue // near/below threshold: 0 tolerance by definition
-			}
-			tol := AverageUpDownFaultTolerance(c, opts.Trials, r)
-			s.Add(float64(p.Terminals()), tol, 0)
+			specs = append(specs, rfcSpec{fmt.Sprintf("RFC-%dL", levels), p})
 		}
-		series = append(series, s)
 	}
-	// CFT points.
-	cftSeries := metrics.Series{Name: "CFT"}
+	points, err := engine.Run(len(specs), opts.Workers, func(i int) (fig11Point, error) {
+		s := specs[i]
+		gen := rng.At(opts.Seed, rng.StringCoord("fig11/gen/"+s.series), uint64(s.p.Leaves))
+		c, _, _, err := core.GenerateRoutable(s.p, 50, gen)
+		if err != nil {
+			return fig11Point{series: s.series}, nil // skipped point, not an error
+		}
+		return fig11Point{series: s.series, x: float64(s.p.Terminals()), c: c}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// CFT and OFT reference points are deterministic builds.
 	for _, levels := range []int{2, 3, 4} {
 		c, err := topology.NewCFT(opts.Radix, levels)
 		if err != nil {
 			return nil, err
 		}
-		cftSeries.Add(float64(c.Terminals()), AverageUpDownFaultTolerance(c, opts.Trials, r), 0)
+		points = append(points, fig11Point{"CFT", float64(c.Terminals()), c})
 	}
-	series = append(series, cftSeries)
-	// OFT points (radix 2(q+1) == opts.Radix requires q = R/2-1 prime power).
 	if q := opts.Radix/2 - 1; q >= 2 {
-		oftSeries := metrics.Series{Name: "OFT"}
 		for _, levels := range []int{2, 3} {
 			c, err := topology.NewOFT(q, levels)
 			if err != nil {
@@ -150,9 +194,27 @@ func Fig11UpDownFaults(opts Fig11Options) (*Report, error) {
 			if c.Terminals() > 50000 {
 				break
 			}
-			oftSeries.Add(float64(c.Terminals()), AverageUpDownFaultTolerance(c, opts.Trials, r), 0)
+			points = append(points, fig11Point{"OFT", float64(c.Terminals()), c})
 		}
-		series = append(series, oftSeries)
+	}
+
+	// Measure tolerance per point; the trials within a point fan out with
+	// seeds keyed by (series, terminal count, trial).
+	var series []metrics.Series
+	bySeries := map[string]int{}
+	for _, pt := range points {
+		if pt.c == nil {
+			continue
+		}
+		idx, ok := bySeries[pt.series]
+		if !ok {
+			idx = len(series)
+			bySeries[pt.series] = idx
+			series = append(series, metrics.Series{Name: pt.series})
+		}
+		trialSeed := rng.DeriveSeed(opts.Seed, rng.StringCoord("fig11/trial/"+pt.series), uint64(pt.x))
+		tol := AverageUpDownFaultToleranceSeeded(pt.c, opts.Trials, opts.Workers, trialSeed)
+		series[idx].Add(pt.x, tol, 0)
 	}
 	return seriesReport(fmt.Sprintf("Figure 11: up/down fault tolerance, radix %d", opts.Radix),
 		[]string{"y = fraction of links removable before some leaf pair loses every up/down path"},
@@ -165,14 +227,28 @@ type Fig12Options struct {
 	FaultSteps int // number of fault increments (paper: 10 steps of 300)
 	Reps       int
 	Sim        simnet.Config
-	Seed       uint64
-	Progress   func(string)
+	// Workers sizes the worker pool the (network × pattern × fault step ×
+	// rep) grid fans out on; 0 means one per CPU.
+	Workers  int
+	Seed     uint64
+	Progress func(string)
+}
+
+// fig12Job is one (network, pattern, fault count, repetition) grid point.
+type fig12Job struct {
+	net     netUnderTest
+	pattern string
+	faults  int
+	rep     int
 }
 
 // Fig12FaultThroughput reproduces Figure 12: maximum throughput (accepted
 // load at offered 1.0) of the equal-resources CFT and RFC as links fail, for
 // the three traffic patterns. Faults are injected in equal increments up to
-// ~13% of the wires, the paper's range.
+// ~13% of the wires, the paper's range. Every grid point is an independent
+// job — clone the topology, remove the links, rebuild routing, simulate —
+// with streams derived from its (network, pattern, faults, rep) coordinates,
+// so the report is byte-identical for any opts.Workers.
 func Fig12FaultThroughput(opts Fig12Options) (*Report, error) {
 	if opts.FaultSteps <= 0 {
 		opts.FaultSteps = 10
@@ -183,14 +259,16 @@ func Fig12FaultThroughput(opts Fig12Options) (*Report, error) {
 	if opts.Scale == "" {
 		opts.Scale = ScaleSmall
 	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
 	sc := Scenarios(opts.Scale)[0]
-	master := newSeeded(opts.Seed + 12)
 
 	cft, err := sc.CFT.Build()
 	if err != nil {
 		return nil, err
 	}
-	rfc, _, err := buildRoutableRFC(sc.RFC, master)
+	rfc, _, err := buildRoutableRFC(sc.RFC, rng.At(opts.Seed, rng.StringCoord("fig12/topology/RFC")))
 	if err != nil {
 		return nil, err
 	}
@@ -199,7 +277,7 @@ func Fig12FaultThroughput(opts Fig12Options) (*Report, error) {
 		{fmt.Sprintf("RFC-R%d", sc.RFC.Radix), rfc, nil},
 	}
 
-	var series []metrics.Series
+	var jobs []fig12Job
 	for _, n := range nets {
 		wires := n.c.Wires()
 		step := wires * 13 / 100 / opts.FaultSteps
@@ -207,32 +285,49 @@ func Fig12FaultThroughput(opts Fig12Options) (*Report, error) {
 			step = 1
 		}
 		for _, patName := range traffic.Names() {
-			s := metrics.Series{Name: n.name + "/" + patName}
 			for f := 0; f <= opts.FaultSteps; f++ {
-				faults := f * step
-				var acc metrics.Summary
 				for rep := 0; rep < opts.Reps; rep++ {
-					stream := master.Split()
-					faulty := n.c.Clone()
-					RemoveRandomLinks(faulty, faults, stream)
-					ud := routing.New(faulty)
-					pat, perr := traffic.New(patName, faulty.Terminals(), stream)
-					if perr != nil {
-						return nil, perr
-					}
-					cfg := opts.Sim
-					cfg.Seed = stream.Uint64()
-					res := simnet.New(faulty, ud, pat, cfg).Run(1.0)
-					acc.Add(res.AcceptedLoad)
-				}
-				s.Add(float64(faults), acc.Mean(), acc.StdDev())
-				if opts.Progress != nil {
-					opts.Progress(fmt.Sprintf("%s/%s faults=%d accepted=%.3f",
-						n.name, patName, faults, acc.Mean()))
+					jobs = append(jobs, fig12Job{n, patName, f * step, rep})
 				}
 			}
-			series = append(series, s)
 		}
+	}
+	accepted, err := engine.Run(len(jobs), opts.Workers, func(i int) (float64, error) {
+		j := jobs[i]
+		stream := rng.At(opts.Seed, rng.StringCoord("fig12/"+j.net.name), rng.StringCoord(j.pattern),
+			uint64(j.faults), uint64(j.rep))
+		faulty := j.net.c.Clone()
+		RemoveRandomLinks(faulty, j.faults, stream)
+		ud := routing.New(faulty)
+		pat, err := traffic.New(j.pattern, faulty.Terminals(), stream)
+		if err != nil {
+			return 0, err
+		}
+		cfg := opts.Sim
+		cfg.Seed = stream.Uint64()
+		res := simnet.New(faulty, ud, pat, cfg).Run(1.0)
+		if opts.Progress != nil {
+			opts.Progress(fmt.Sprintf("%s/%s faults=%d rep=%d accepted=%.3f",
+				j.net.name, j.pattern, j.faults, j.rep, res.AcceptedLoad))
+		}
+		return res.AcceptedLoad, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge per-job accepted loads into one collector per (network,
+	// pattern) group; the grid is jobs-ordered, so the block arithmetic
+	// mirrors the construction loop above.
+	per := (opts.FaultSteps + 1) * opts.Reps
+	collectors := make([]metrics.Collector, len(nets)*len(traffic.Names()))
+	for i, acc := range accepted {
+		collectors[i/per].Add(float64(jobs[i].faults), acc)
+	}
+	var series []metrics.Series
+	for g, c := range collectors {
+		first := jobs[g*per]
+		series = append(series, c.Series(first.net.name+"/"+first.pattern))
 	}
 	return seriesReport("Figure 12: max throughput under link faults (equal-resources scenario)",
 		[]string{fmt.Sprintf("scale=%s; offered load 1.0; faults up to ~13%% of wires", opts.Scale)},

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rfclos/internal/core"
+	"rfclos/internal/engine"
 	"rfclos/internal/graph"
 	"rfclos/internal/metrics"
 	"rfclos/internal/rng"
@@ -24,6 +25,15 @@ type StructureOptions struct {
 	Seed        uint64
 }
 
+// structureStream derives the experiment's generator from the root seed;
+// the label keeps it disjoint from every other experiment's streams.
+func structureStream(seed uint64) *rng.Rand {
+	if seed == 0 {
+		seed = 1
+	}
+	return rng.At(seed, rng.StringCoord("structure"))
+}
+
 // Structure compares the diameter-4 networks on the structural metrics the
 // paper discusses outside the big exhibits: exact/sampled diameter, mean
 // leaf distance, empirical bisection (heuristic upper bound) against the
@@ -36,7 +46,7 @@ func Structure(opts StructureOptions) (*Report, error) {
 	if opts.PairSamples <= 0 {
 		opts.PairSamples = 200
 	}
-	r := newSeeded(opts.Seed)
+	r := structureStream(opts.Seed)
 	rep := &Report{
 		Title: fmt.Sprintf("Structural comparison at diameter 4, T ≈ %d", opts.Target),
 		Notes: []string{
@@ -178,7 +188,10 @@ type AdversarialOptions struct {
 	Scale Scale
 	Reps  int
 	Sim   simnet.Config
-	Seed  uint64
+	// Workers sizes the worker pool the (network × rep) jobs fan out on;
+	// 0 means one per CPU. The report is identical for any worker count.
+	Workers int
+	Seed    uint64
 }
 
 // Adversarial measures the §4.2/§3 claim that RFCs route adversarial
@@ -193,13 +206,15 @@ func Adversarial(opts AdversarialOptions) (*Report, error) {
 	if opts.Reps <= 0 {
 		opts.Reps = 2
 	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
 	sc := Scenarios(opts.Scale)[0]
-	master := newSeeded(opts.Seed + 5)
 	cft, err := sc.CFT.Build()
 	if err != nil {
 		return nil, err
 	}
-	rfc, rud, err := buildRoutableRFC(sc.RFC, master)
+	rfc, rud, err := buildRoutableRFC(sc.RFC, rng.At(opts.Seed, rng.StringCoord("adversarial/topology/RFC")))
 	if err != nil {
 		return nil, err
 	}
@@ -213,18 +228,28 @@ func Adversarial(opts AdversarialOptions) (*Report, error) {
 		},
 		Header: []string{"network", "accepted", "latency"},
 	}
-	for _, n := range []netUnderTest{
+	nets := []netUnderTest{
 		{fmt.Sprintf("CFT-R%d", sc.CFT.Radix), cft, routing.New(cft)},
 		{fmt.Sprintf("RFC-R%d", sc.RFC.Radix), rfc, rud},
-	} {
+	}
+	type outcome struct{ acc, lat float64 }
+	results, err := engine.Run(len(nets)*opts.Reps, opts.Workers, func(i int) (outcome, error) {
+		n, repIdx := nets[i/opts.Reps], i%opts.Reps
+		stream := rng.At(opts.Seed, rng.StringCoord("adversarial/"+n.name), uint64(repIdx))
+		cfg := opts.Sim
+		cfg.Seed = stream.Uint64()
+		res := simnet.New(n.c, n.ud, traffic.NewShift(n.c.Terminals(), 0), cfg).Run(1.0)
+		return outcome{res.AcceptedLoad, res.AvgLatency}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, n := range nets {
 		var acc, lat metrics.Summary
-		for i := 0; i < opts.Reps; i++ {
-			stream := master.Split()
-			cfg := opts.Sim
-			cfg.Seed = stream.Uint64()
-			res := simnet.New(n.c, n.ud, traffic.NewShift(n.c.Terminals(), 0), cfg).Run(1.0)
-			acc.Add(res.AcceptedLoad)
-			lat.Add(res.AvgLatency)
+		for r := 0; r < opts.Reps; r++ {
+			o := results[ni*opts.Reps+r]
+			acc.Add(o.acc)
+			lat.Add(o.lat)
 		}
 		rep.AddRow(n.name, fmt.Sprintf("%.4f", acc.Mean()), fmt.Sprintf("%.1f", lat.Mean()))
 	}

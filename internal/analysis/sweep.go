@@ -2,7 +2,9 @@ package analysis
 
 import (
 	"fmt"
+	"math"
 
+	"rfclos/internal/engine"
 	"rfclos/internal/metrics"
 	"rfclos/internal/rng"
 	"rfclos/internal/routing"
@@ -10,13 +12,6 @@ import (
 	"rfclos/internal/topology"
 	"rfclos/internal/traffic"
 )
-
-func newSeeded(seed uint64) *rng.Rand {
-	if seed == 0 {
-		seed = 1
-	}
-	return rng.New(seed)
-}
 
 // SimOptions controls the simulation-based experiments (Figures 8-10, 12).
 type SimOptions struct {
@@ -29,9 +24,17 @@ type SimOptions struct {
 	Sim simnet.Config
 	// Patterns restricts the traffic patterns (default: all three).
 	Patterns []string
-	// Seed drives every random choice (topology generation aside).
+	// Seed drives every random choice. Each simulation job derives its
+	// stream from its coordinates — rng.At(Seed, StringCoord(network),
+	// StringCoord(pattern), Float64bits(load), rep) — so reports are
+	// byte-identical for any Workers setting.
 	Seed uint64
-	// Progress, when non-nil, receives one line per completed point.
+	// Workers is the worker-pool size for the (load × rep × pattern ×
+	// network) job grid; 0 means one worker per CPU (engine.Workers).
+	Workers int
+	// Progress, when non-nil, receives one line per completed job. It is
+	// called from worker goroutines, so it must be safe for concurrent use
+	// when Workers != 1 (engine.Progress builds a safe, counting sink).
 	Progress func(string)
 }
 
@@ -58,76 +61,157 @@ type netUnderTest struct {
 	ud   *routing.UpDown
 }
 
+// simJob is one (network, pattern, load, repetition) simulation point of a
+// sweep grid. Jobs are independent: they read the shared topology and
+// routing state (immutable during a sweep) and derive all randomness from
+// their own coordinates, so the engine may run them in any order on any
+// number of workers.
+type simJob struct {
+	c       *topology.Clos
+	ud      *routing.UpDown
+	net     string
+	pattern string
+	load    float64
+	rep     int
+}
+
+// simPoint is the measured outcome of one simJob.
+type simPoint struct{ lat, thr float64 }
+
+// stream returns the job's deterministic RNG, a pure function of the root
+// seed and the job coordinates (network name, pattern name, load, rep).
+// Using names rather than positional indices keeps a network/pattern's
+// streams stable under sweep-grid reshuffles, and makes a stand-alone
+// LoadSweep reproduce the corresponding slice of a ScenarioSweep.
+func (j simJob) stream(seed uint64) *rng.Rand {
+	return rng.At(seed, rng.StringCoord(j.net), rng.StringCoord(j.pattern),
+		math.Float64bits(j.load), uint64(j.rep))
+}
+
+// run executes the simulation for one job.
+func (j simJob) run(opts SimOptions) (simPoint, error) {
+	stream := j.stream(opts.Seed)
+	pat, err := traffic.New(j.pattern, j.c.Terminals(), stream)
+	if err != nil {
+		return simPoint{}, err
+	}
+	cfg := opts.Sim
+	cfg.Seed = stream.Uint64()
+	res := simnet.New(j.c, j.ud, pat, cfg).Run(j.load)
+	if opts.Progress != nil {
+		opts.Progress(fmt.Sprintf("%s/%s load=%.2f rep=%d accepted=%.3f latency=%.1f",
+			j.net, j.pattern, j.load, j.rep, res.AcceptedLoad, res.AvgLatency))
+	}
+	return simPoint{lat: res.AvgLatency, thr: res.AcceptedLoad}, nil
+}
+
+// runSimJobs fans a job grid out over the worker pool and returns the
+// per-job results in job order.
+func runSimJobs(jobs []simJob, opts SimOptions) ([]simPoint, error) {
+	return engine.Run(len(jobs), opts.Workers, func(i int) (simPoint, error) {
+		return jobs[i].run(opts)
+	})
+}
+
+// loadRepJobs builds the (load × rep) grid for one network and pattern, in
+// the deterministic job order loads-major, reps-minor.
+func loadRepJobs(n netUnderTest, pattern string, opts SimOptions) []simJob {
+	jobs := make([]simJob, 0, len(opts.Loads)*opts.Reps)
+	for _, load := range opts.Loads {
+		for rep := 0; rep < opts.Reps; rep++ {
+			jobs = append(jobs, simJob{c: n.c, ud: n.ud, net: n.name, pattern: pattern, load: load, rep: rep})
+		}
+	}
+	return jobs
+}
+
 // LoadSweep measures latency and accepted throughput across offered loads
 // for one network and one traffic pattern. It returns one latency series
 // and one throughput series, each point averaged over opts.Reps runs with
-// distinct seeds (and distinct pattern instances for the fixed patterns).
+// distinct coordinate-derived seeds (and distinct pattern instances for the
+// fixed patterns). The (load × rep) grid runs on opts.Workers workers; the
+// returned series are identical for any worker count.
 func LoadSweep(c *topology.Clos, ud *routing.UpDown, netName, patName string, opts SimOptions) (lat, thr metrics.Series, err error) {
 	opts = opts.withDefaults()
-	lat = metrics.Series{Name: netName + "/" + patName + "/latency"}
-	thr = metrics.Series{Name: netName + "/" + patName + "/throughput"}
-	master := newSeeded(opts.Seed)
-	for _, load := range opts.Loads {
-		var latSum, thrSum metrics.Summary
-		for rep := 0; rep < opts.Reps; rep++ {
-			stream := master.Split()
-			pat, perr := traffic.New(patName, c.Terminals(), stream)
-			if perr != nil {
-				return lat, thr, perr
-			}
-			cfg := opts.Sim
-			cfg.Seed = stream.Uint64()
-			res := simnet.New(c, ud, pat, cfg).Run(load)
-			latSum.Add(res.AvgLatency)
-			thrSum.Add(res.AcceptedLoad)
-		}
-		lat.Add(load, latSum.Mean(), latSum.StdDev())
-		thr.Add(load, thrSum.Mean(), thrSum.StdDev())
-		if opts.Progress != nil {
-			opts.Progress(fmt.Sprintf("%s/%s load=%.2f accepted=%.3f latency=%.1f",
-				netName, patName, load, thrSum.Mean(), latSum.Mean()))
-		}
+	jobs := loadRepJobs(netUnderTest{netName, c, ud}, patName, opts)
+	points, err := runSimJobs(jobs, opts)
+	if err != nil {
+		return metrics.Series{}, metrics.Series{}, err
 	}
-	return lat, thr, nil
+	var latC, thrC metrics.Collector
+	for i, p := range points {
+		latC.Add(jobs[i].load, p.lat)
+		thrC.Add(jobs[i].load, p.thr)
+	}
+	return latC.Series(netName + "/" + patName + "/latency"),
+		thrC.Series(netName + "/" + patName + "/throughput"), nil
 }
 
-// ScenarioSweep runs the full Figure 8/9/10 experiment for one scenario:
-// every network in the scenario × every traffic pattern × the load sweep.
-func ScenarioSweep(sc Scenario, opts SimOptions) (*Report, error) {
-	opts = opts.withDefaults()
-	master := newSeeded(opts.Seed + 1000)
-
-	var nets []netUnderTest
+// buildScenarioNets constructs a scenario's networks with per-network
+// coordinate-derived generation streams.
+func buildScenarioNets(sc Scenario, seed uint64) ([]netUnderTest, error) {
 	cft, err := sc.CFT.Build()
 	if err != nil {
 		return nil, err
 	}
-	nets = append(nets, netUnderTest{
-		fmt.Sprintf("CFT-%dL-R%d", sc.CFT.Levels, sc.CFT.Radix), cft, routing.New(cft)})
-	rfc, rud, err := buildRoutableRFC(sc.RFC, master)
+	nets := []netUnderTest{{
+		fmt.Sprintf("CFT-%dL-R%d", sc.CFT.Levels, sc.CFT.Radix), cft, routing.New(cft)}}
+	rfc, rud, err := buildRoutableRFC(sc.RFC, rng.At(seed, rng.StringCoord("scenario/topology/RFC")))
 	if err != nil {
 		return nil, err
 	}
 	nets = append(nets, netUnderTest{
 		fmt.Sprintf("RFC-%dL-R%d", sc.RFC.Levels, sc.RFC.Radix), rfc, rud})
 	if sc.AltRFC != nil {
-		alt, aud, err := buildRoutableRFC(*sc.AltRFC, master)
+		alt, aud, err := buildRoutableRFC(*sc.AltRFC, rng.At(seed, rng.StringCoord("scenario/topology/AltRFC")))
 		if err != nil {
 			return nil, err
 		}
 		nets = append(nets, netUnderTest{
 			fmt.Sprintf("RFC-%dL-R%d", sc.AltRFC.Levels, sc.AltRFC.Radix), alt, aud})
 	}
+	return nets, nil
+}
 
-	var series []metrics.Series
+// ScenarioSweep runs the full Figure 8/9/10 experiment for one scenario:
+// every network in the scenario × every traffic pattern × the load sweep,
+// flattened into one (network × pattern × load × rep) job grid on the
+// worker pool. Per-job seeds are derived from the job coordinates, so the
+// report is byte-identical for any opts.Workers.
+func ScenarioSweep(sc Scenario, opts SimOptions) (*Report, error) {
+	opts = opts.withDefaults()
+	nets, err := buildScenarioNets(sc, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	var jobs []simJob
 	for _, n := range nets {
 		for _, pat := range opts.Patterns {
-			lat, thr, err := LoadSweep(n.c, n.ud, n.name, pat, opts)
-			if err != nil {
-				return nil, err
-			}
-			series = append(series, thr, lat)
+			jobs = append(jobs, loadRepJobs(n, pat, opts)...)
 		}
+	}
+	points, err := runSimJobs(jobs, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge per-job results into one latency and one throughput collector
+	// per (network, pattern) group. Jobs are grid-ordered, so group g owns
+	// the contiguous block of len(Loads)*Reps jobs starting at g*per.
+	per := len(opts.Loads) * opts.Reps
+	groups := len(nets) * len(opts.Patterns)
+	latC := make([]metrics.Collector, groups)
+	thrC := make([]metrics.Collector, groups)
+	for i, p := range points {
+		g := i / per
+		latC[g].Add(jobs[i].load, p.lat)
+		thrC[g].Add(jobs[i].load, p.thr)
+	}
+	var series []metrics.Series
+	for g := 0; g < groups; g++ {
+		name := jobs[g*per].net + "/" + jobs[g*per].pattern
+		series = append(series, thrC[g].Series(name+"/throughput"), latC[g].Series(name+"/latency"))
 	}
 	notes := []string{
 		fmt.Sprintf("scenario %s: CFT T=%d, RFC T=%d", sc.Name, sc.CFT.Terminals(), sc.RFC.Terminals()),

@@ -1,0 +1,96 @@
+// Package engine is the deterministic parallel job runner behind every
+// experiment sweep in this repository. The paper's exhibits (Figures 8-12,
+// Table 3, the Theorem 4.2 Monte-Carlo) are embarrassingly parallel grids —
+// load points × repetitions × topologies × traffic patterns — and engine.Run
+// fans such a grid out over a worker pool while keeping the results a pure
+// function of the job indices.
+//
+// The determinism contract, which the analysis layer relies on and
+// regression-tests, is:
+//
+//   - Run(jobs, w, fn) returns results indexed by job, never by completion
+//     order, so aggregation code observes an order independent of w.
+//   - fn must derive all of its randomness from the job index (in practice
+//     from job coordinates via rng.DeriveSeed/rng.At), never from shared
+//     mutable generators.
+//
+// Under that contract the output for workers = 1 is byte-identical to the
+// output for workers = N.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count setting: values > 0 are returned as-is and
+// anything else (the zero value of an options struct) means one worker per
+// available CPU. Every sweep option struct interprets its Workers field
+// through this function.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// Run executes fn(job) for every job index in [0, jobs) on up to `workers`
+// goroutines (Workers(workers) resolves non-positive values; the pool never
+// exceeds the job count) and returns the results in job-index order.
+//
+// Jobs are claimed from a shared atomic counter, so scheduling is dynamic,
+// but because results are stored by index the returned slice is identical
+// for every worker count. Errors do not cancel other jobs — every job runs
+// to completion so the error path is deterministic too — and the error
+// returned is the one from the lowest-indexed failing job.
+//
+// fn is called concurrently when workers > 1 and must therefore be safe for
+// concurrent use; the intended pattern is that each job reads shared
+// immutable inputs (a topology, routing tables) and derives its own RNG
+// stream from the job's coordinates.
+func Run[T any](jobs, workers int, fn func(job int) (T, error)) ([]T, error) {
+	if jobs <= 0 {
+		return nil, nil
+	}
+	workers = Workers(workers)
+	if workers > jobs {
+		workers = jobs
+	}
+	results := make([]T, jobs)
+	if workers == 1 {
+		// Serial fast path: no goroutines, no atomics, same semantics.
+		var firstErr error
+		for i := 0; i < jobs; i++ {
+			v, err := fn(i)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			results[i] = v
+		}
+		return results, firstErr
+	}
+	errs := make([]error, jobs)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= jobs {
+					return
+				}
+				results[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

@@ -162,3 +162,66 @@ func (s *Series) Format() string {
 	}
 	return out
 }
+
+// Collector aggregates per-job observations into one Summary per distinct
+// sweep coordinate x. It is the merge stage of the parallel experiment
+// engine: jobs (one per repetition per sweep point) run in any order across
+// workers, and the collector folds their results into per-point statistics
+// whose values do not depend on completion order.
+//
+// Determinism of the emitted Series ordering comes from feeding observations
+// in job-index order (engine.Run returns results indexed by job), which
+// fixes the first-seen order of the x keys; the aggregated values themselves
+// are order-independent (Summary.Merge is commutative in the quantities
+// Series reports). The zero value is ready to use. A Collector is not safe
+// for concurrent use — collect after the parallel phase, not during it.
+type Collector struct {
+	order []float64
+	sums  map[float64]*Summary
+}
+
+// Add records one observation y at sweep coordinate x.
+func (c *Collector) Add(x, y float64) {
+	s := c.at(x)
+	s.Add(y)
+}
+
+// AddSummary folds a pre-aggregated per-job Summary into coordinate x,
+// for jobs that already reduce several observations internally.
+func (c *Collector) AddSummary(x float64, s Summary) {
+	c.at(x).Merge(s)
+}
+
+func (c *Collector) at(x float64) *Summary {
+	if c.sums == nil {
+		c.sums = make(map[float64]*Summary)
+	}
+	s, ok := c.sums[x]
+	if !ok {
+		s = &Summary{}
+		c.sums[x] = s
+		c.order = append(c.order, x)
+	}
+	return s
+}
+
+// Merge folds other into c: summaries at shared coordinates are merged,
+// new coordinates are appended in other's order. The aggregated values are
+// independent of the order in which collectors are merged.
+func (c *Collector) Merge(other *Collector) {
+	for _, x := range other.order {
+		c.at(x).Merge(*other.sums[x])
+	}
+}
+
+// Series renders the collected statistics as a named series: one point per
+// distinct x in first-Add order, with Y the mean and YErr the sample
+// standard deviation across that coordinate's observations.
+func (c *Collector) Series(name string) Series {
+	s := Series{Name: name}
+	for _, x := range c.order {
+		sum := c.sums[x]
+		s.Add(x, sum.Mean(), sum.StdDev())
+	}
+	return s
+}

@@ -45,8 +45,52 @@ func New(seed uint64) *Rand {
 // Split derives an independent child generator. The child's stream is a
 // function of the parent's current state, and the parent is advanced, so
 // successive Splits give distinct streams.
+//
+// Split is inherently order-dependent: the k-th Split of a parent depends on
+// everything drawn from the parent before it. Parallel experiment code that
+// must produce identical results for any worker count should instead derive
+// streams from job coordinates with At or DeriveSeed.
 func (r *Rand) Split() *Rand {
 	return New(r.Uint64() ^ 0xa0761d6478bd642f)
+}
+
+// DeriveSeed deterministically maps a root seed plus a tuple of job
+// coordinates to a sub-seed. It is the splittable-seed primitive behind every
+// parallel sweep in this repository: a job identified by its coordinates
+// (e.g. network, traffic pattern, load index, repetition) always receives the
+// same stream no matter which worker runs it or in which order jobs complete.
+//
+// The derivation is a splitmix64-fed chain over the coordinates, finalized
+// with the tuple length so that prefixes of a tuple do not collide with the
+// tuple itself. Distinct coordinate tuples yield independent streams up to
+// the collision probability of a 64-bit hash.
+func DeriveSeed(seed uint64, coords ...uint64) uint64 {
+	x := seed ^ 0x9e3779b97f4a7c15
+	h := splitmix64(&x)
+	for _, c := range coords {
+		x = h ^ c
+		h = splitmix64(&x)
+	}
+	x = h ^ uint64(len(coords))*0x94d049bb133111eb
+	return splitmix64(&x)
+}
+
+// At returns a generator for the job identified by (seed, coords...):
+// shorthand for New(DeriveSeed(seed, coords...)).
+func At(seed uint64, coords ...uint64) *Rand {
+	return New(DeriveSeed(seed, coords...))
+}
+
+// StringCoord hashes a label (a network or pattern name, an experiment tag)
+// into a coordinate for DeriveSeed/At, so sweeps can key their streams by
+// stable names instead of fragile positional indices. FNV-1a, 64-bit.
+func StringCoord(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

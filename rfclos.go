@@ -170,8 +170,12 @@ func Fig7Expandability(radix, maxTerminals, points int) *Report {
 // Costs regenerates the §5 cost comparison table.
 func Costs() *Report { return analysis.Costs() }
 
-// Thm42 runs the Theorem 4.2 Monte-Carlo validation.
-func Thm42(n1, trials int, seed uint64) (*Report, error) { return analysis.Thm42(n1, trials, seed) }
+// Thm42 runs the Theorem 4.2 Monte-Carlo validation with its trials fanned
+// out on a worker pool (workers <= 0 means one per CPU). The report is
+// byte-identical for any worker count.
+func Thm42(n1, trials, workers int, seed uint64) (*Report, error) {
+	return analysis.Thm42(n1, trials, workers, seed)
+}
 
 // ScenarioSweep runs the Figure 8/9/10 latency-throughput sweep for one of
 // the §6 scenarios (index 0..2) at the given scale.

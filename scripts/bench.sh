@@ -1,0 +1,57 @@
+#!/bin/sh
+# Benchmarks the parallel experiment engine: runs the Figure 8 sweep once
+# with -workers 1 and once with -workers <nproc>, checks the two reports are
+# byte-identical, and appends a datapoint (times, speedup, core count) to
+# BENCH_engine.json at the repo root.
+#
+# Usage: scripts/bench.sh [reps] [cycles]
+set -eu
+cd "$(dirname "$0")/.."
+
+reps=${1:-2}
+cycles=${2:-2000}
+cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+
+bin=$(mktemp -d)/rfcpaper
+go build -o "$bin" ./cmd/rfcpaper
+
+now() { date +%s.%N; }
+
+run_sweep() { # $1 = workers, $2 = output file
+	"$bin" -exhibit fig8 -scale small -reps "$reps" -cycles "$cycles" \
+		-workers "$1" -quiet >"$2"
+}
+
+out1=$(mktemp) outN=$(mktemp)
+t0=$(now); run_sweep 1 "$out1"; t1=$(now)
+serial=$(awk "BEGIN{printf \"%.3f\", $t1 - $t0}")
+t0=$(now); run_sweep "$cores" "$outN"; t1=$(now)
+parallel=$(awk "BEGIN{printf \"%.3f\", $t1 - $t0}")
+
+if ! cmp -s "$out1" "$outN"; then
+	echo "bench.sh: FATAL: workers=1 and workers=$cores reports differ" >&2
+	exit 1
+fi
+rm -f "$out1" "$outN"
+
+speedup=$(awk "BEGIN{printf \"%.2f\", $serial / $parallel}")
+date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+point="  {\"date\": \"$date\", \"exhibit\": \"fig8\", \"reps\": $reps, \"cycles\": $cycles, \"cores\": $cores, \"serial_s\": $serial, \"parallel_s\": $parallel, \"speedup\": $speedup}"
+
+# Append the datapoint into the JSON array (create the file if missing).
+if [ ! -f BENCH_engine.json ]; then
+	printf '[\n%s\n]\n' "$point" >BENCH_engine.json
+else
+	# Drop the closing bracket, add a comma to the last entry, re-close.
+	awk -v point="$point" '
+		{ lines[NR] = $0 }
+		END {
+			while (NR > 0 && lines[NR] !~ /\]/) NR--
+			for (i = 1; i < NR; i++) print (i == NR - 1 ? lines[i] "," : lines[i])
+			print point
+			print "]"
+		}' BENCH_engine.json >BENCH_engine.json.tmp
+	mv BENCH_engine.json.tmp BENCH_engine.json
+fi
+
+echo "fig8 x$reps reps @ $cycles cycles: serial ${serial}s, parallel(${cores}) ${parallel}s, speedup ${speedup}x"
