@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exhibit  = flag.String("exhibit", "all", "fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table3|thm42|costs|ablation|structure|adversarial|tables|jellyfish|all")
+		exhibit  = flag.String("exhibit", "all", "fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table3|thm42|costs|ablation|structure|adversarial|tables|jellyfish|rrnfaults|all")
 		scale    = flag.String("scale", "small", "small | paper (simulation exhibits)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		trials   = flag.Int("trials", 0, "trials/repetitions (0 = per-exhibit default)")
@@ -230,6 +230,17 @@ func (r runner) run(exhibit string) error {
 			opts.Sim.WarmupCycles = r.cycles / 4
 		}
 		rep, err := rfclos.Jellyfish(opts)
+		if err := emit(rep, err); err != nil {
+			return err
+		}
+	}
+	if all || exhibit == "rrnfaults" {
+		opts := rfclos.RRNFaultsOptions{Scale: r.scale, Seed: r.seed, Reps: r.reps, Workers: r.workers, Progress: r.progress()}
+		if r.cycles > 0 {
+			opts.Sim.MeasureCycles = r.cycles
+			opts.Sim.WarmupCycles = r.cycles / 4
+		}
+		rep, err := rfclos.RRNFaults(opts)
 		if err := emit(rep, err); err != nil {
 			return err
 		}

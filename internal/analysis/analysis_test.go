@@ -344,6 +344,40 @@ func TestFig12Tiny(t *testing.T) {
 	}
 }
 
+func TestRRNFaultsTiny(t *testing.T) {
+	rep, err := RRNFaults(RRNFaultsOptions{
+		Scale:      ScaleSmall,
+		FaultSteps: 2,
+		Reps:       1,
+		Sim:        simnet.Config{WarmupCycles: 200, MeasureCycles: 500},
+		Seed:       13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2*2*3 { // 2 nets × 2 patterns × 3 fault points
+		t.Fatalf("rows = %d, want 12", len(rep.Rows))
+	}
+	seenRRN := false
+	for _, row := range rep.Rows {
+		y := atofOrZero(row[2])
+		if y < 0 || y > 1.1 {
+			t.Errorf("accepted load %v out of range", y)
+		}
+		if strings.HasPrefix(row[0], "RRN") {
+			seenRRN = true
+			// The fault-free direct network must actually route (not every
+			// point scores 0 through the unified engine).
+			if row[1] == "0" && y <= 0 {
+				t.Errorf("fault-free RRN point accepted %v, want > 0", y)
+			}
+		}
+	}
+	if !seenRRN {
+		t.Error("no RRN series in the report")
+	}
+}
+
 func TestScenariosWellFormed(t *testing.T) {
 	for _, scale := range []Scale{ScaleSmall, ScalePaper} {
 		for _, sc := range Scenarios(scale) {

@@ -62,6 +62,23 @@ func TestFig12WorkerInvariance(t *testing.T) {
 	}
 }
 
+func TestRRNFaultsWorkerInvariance(t *testing.T) {
+	opts := RRNFaultsOptions{
+		Scale:      ScaleSmall,
+		FaultSteps: 1,
+		Reps:       2,
+		Sim:        simnet.Config{WarmupCycles: 100, MeasureCycles: 300},
+		Seed:       23,
+	}
+	opts.Workers = 1
+	serial := reportText(t, func() (*Report, error) { return RRNFaults(opts) })
+	opts.Workers = 8
+	parallel := reportText(t, func() (*Report, error) { return RRNFaults(opts) })
+	if serial != parallel {
+		t.Errorf("RRNFaults differs between workers=1 and workers=8:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", serial, parallel)
+	}
+}
+
 func TestTable3WorkerInvariance(t *testing.T) {
 	opts := Table3Options{Targets: []int{256}, Trials: 8, Seed: 25}
 	opts.Workers = 1

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"fmt"
+
+	"rfclos/internal/engine"
+	"rfclos/internal/graph"
+	"rfclos/internal/metrics"
+	"rfclos/internal/rng"
+	"rfclos/internal/routing"
+	"rfclos/internal/simdirect"
+	"rfclos/internal/simnet"
+	"rfclos/internal/topology"
+	"rfclos/internal/traffic"
+)
+
+// RRNFaultsOptions parameterises the direct-network fault-throughput
+// extension.
+type RRNFaultsOptions struct {
+	Scale      Scale
+	FaultSteps int // fault increments up to ~13% of each network's wires
+	Reps       int
+	Sim        simnet.Config // Table 2 parameters, shared by both simulators
+	// Workers sizes the worker pool the (network × pattern × fault step ×
+	// rep) grid fans out on; 0 means one per CPU.
+	Workers  int
+	Seed     uint64
+	Progress func(string)
+}
+
+// rrnFaultsJob is one (network, pattern, fault count, repetition) point.
+type rrnFaultsJob struct {
+	net     string
+	pattern string
+	faults  int
+	rep     int
+}
+
+// RRNFaults extends the Figure 12 fault methodology to the random baseline
+// the paper leaves unsimulated: maximum throughput (accepted load at offered
+// 1.0) of the equal-resources RFC and the equal-T RRN as links fail, under
+// uniform and adversarial shift traffic. Both network classes run on the
+// unified cycle engine, differing only in routing policy, so the degradation
+// curves are directly comparable. RFC points route up/down around faults
+// (unroutable pairs are counted, the network keeps working); RRN points
+// recompute shortest paths on the faulted graph and score 0 when the faults
+// disconnect it or push its diameter past the hop-indexed VC budget — the
+// deadlock-freedom fragility §1/§6 attribute to direct random networks.
+// Every grid point is an independent job with streams derived from its
+// coordinates, so the report is byte-identical for any opts.Workers.
+func RRNFaults(opts RRNFaultsOptions) (*Report, error) {
+	if opts.FaultSteps <= 0 {
+		opts.FaultSteps = 10
+	}
+	if opts.Reps <= 0 {
+		opts.Reps = 2
+	}
+	if opts.Scale == "" {
+		opts.Scale = ScaleSmall
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	const rrnVCs = 16 // covers any small-network diameter, as in Jellyfish()
+	sc := Scenarios(opts.Scale)[0]
+
+	rfc, _, err := buildRoutableRFC(sc.RFC, rng.At(opts.Seed, rng.StringCoord("rrnfaults/topology/RFC")))
+	if err != nil {
+		return nil, err
+	}
+	spec := rrnSpecFor(sc.RFC.Terminals(), 4)
+	rrn, err := topology.NewRRN(spec.N, spec.Degree, spec.TermsPerSwitch,
+		rng.At(opts.Seed, rng.StringCoord("rrnfaults/topology/RRN")))
+	if err != nil {
+		return nil, err
+	}
+	rfcName := fmt.Sprintf("RFC-R%d", sc.RFC.Radix)
+	rrnName := fmt.Sprintf("RRN-R%d", spec.Radix())
+	wires := map[string]int{rfcName: rfc.Wires(), rrnName: rrn.Wires()}
+
+	patterns := []string{"uniform", "shift"}
+	var jobs []rrnFaultsJob
+	for _, name := range []string{rfcName, rrnName} {
+		step := wires[name] * 13 / 100 / opts.FaultSteps
+		if step == 0 {
+			step = 1
+		}
+		for _, pat := range patterns {
+			for f := 0; f <= opts.FaultSteps; f++ {
+				for rep := 0; rep < opts.Reps; rep++ {
+					jobs = append(jobs, rrnFaultsJob{name, pat, f * step, rep})
+				}
+			}
+		}
+	}
+
+	pattern := func(name string, terms int) traffic.Pattern {
+		if name == "shift" {
+			return traffic.NewShift(terms, 0)
+		}
+		return traffic.NewUniform(terms)
+	}
+	accepted, err := engine.Run(len(jobs), opts.Workers, func(i int) (float64, error) {
+		j := jobs[i]
+		stream := rng.At(opts.Seed, rng.StringCoord("rrnfaults/"+j.net), rng.StringCoord(j.pattern),
+			uint64(j.faults), uint64(j.rep))
+		var acc float64
+		if j.net == rfcName {
+			faulty := rfc.Clone()
+			RemoveRandomLinks(faulty, j.faults, stream)
+			ud := routing.New(faulty)
+			cfg := opts.Sim
+			cfg.Seed = stream.Uint64()
+			acc = simnet.New(faulty, ud, pattern(j.pattern, faulty.Terminals()), cfg).Run(1.0).AcceptedLoad
+		} else {
+			faulty := &topology.RRN{G: rrn.G.Clone(), Degree: rrn.Degree, TermsPerSwitch: rrn.TermsPerSwitch}
+			removeRandomGraphLinks(faulty.G, j.faults, stream)
+			cfg := simdirect.Config{
+				VCs:            rrnVCs,
+				BufferPackets:  opts.Sim.BufferPackets,
+				PacketLength:   opts.Sim.PacketLength,
+				LinkLatency:    opts.Sim.LinkLatency,
+				WarmupCycles:   opts.Sim.WarmupCycles,
+				MeasureCycles:  opts.Sim.MeasureCycles,
+				SourceQueueCap: opts.Sim.SourceQueueCap,
+				Seed:           stream.Uint64(),
+			}
+			sim, err := simdirect.New(faulty, pattern(j.pattern, faulty.Terminals()), cfg)
+			if err != nil {
+				// Disconnected, or diameter grew past the VC budget: the
+				// direct network cannot route deadlock-free any more.
+				acc = 0
+			} else {
+				acc = sim.Run(1.0).AcceptedLoad
+			}
+		}
+		if opts.Progress != nil {
+			opts.Progress(fmt.Sprintf("%s/%s faults=%d rep=%d accepted=%.3f",
+				j.net, j.pattern, j.faults, j.rep, acc))
+		}
+		return acc, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge per-job accepted loads into one collector per (network, pattern)
+	// group; the grid is jobs-ordered, mirroring the construction loop.
+	per := (opts.FaultSteps + 1) * opts.Reps
+	collectors := make([]metrics.Collector, 2*len(patterns))
+	for i, acc := range accepted {
+		collectors[i/per].Add(float64(jobs[i].faults), acc)
+	}
+	var series []metrics.Series
+	for g, c := range collectors {
+		first := jobs[g*per]
+		series = append(series, c.Series(first.net+"/"+first.pattern))
+	}
+	return seriesReport("Extension: max throughput under link faults, RFC vs RRN (unified engine)",
+		[]string{
+			fmt.Sprintf("scale=%s; offered load 1.0; faults up to ~13%% of each network's wires", opts.Scale),
+			fmt.Sprintf("RFC: %v, up/down routing around faults; RRN: %d switches × R%d, minimal routing with %d hop-indexed VCs",
+				sc.RFC, rrn.N(), spec.Radix(), rrnVCs),
+			"RRN points score 0 when faults disconnect the graph or push its diameter past the VC budget",
+		},
+		"faulty links", "accepted load", series), nil
+}
+
+// removeRandomGraphLinks deletes n uniformly random edges from g (fewer when
+// g runs out).
+func removeRandomGraphLinks(g *graph.Graph, n int, r *rng.Rand) {
+	for i := 0; i < n; i++ {
+		edges := g.Edges()
+		if len(edges) == 0 {
+			return
+		}
+		e := edges[r.Intn(len(edges))]
+		g.RemoveEdge(int(e.U), int(e.V))
+	}
+}

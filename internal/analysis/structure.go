@@ -9,6 +9,7 @@ import (
 	"rfclos/internal/metrics"
 	"rfclos/internal/rng"
 	"rfclos/internal/routing"
+	"rfclos/internal/simdirect"
 	"rfclos/internal/simnet"
 	"rfclos/internal/topology"
 	"rfclos/internal/traffic"
@@ -199,6 +200,8 @@ type AdversarialOptions struct {
 // randomization: it drives the equal-resources CFT and RFC with the shift
 // permutation (every packet crosses the bisection) at full offered load and
 // reports accepted throughput next to the normalized-bisection prediction.
+// An equal-T RRN row (minimal routing, hop-indexed VCs, on the same unified
+// engine) extends the comparison to the random baseline.
 func Adversarial(opts AdversarialOptions) (*Report, error) {
 	if opts.Scale == "" {
 		opts.Scale = ScaleSmall
@@ -218,6 +221,12 @@ func Adversarial(opts AdversarialOptions) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	spec := rrnSpecFor(sc.RFC.Terminals(), 4)
+	rrn, err := topology.NewRRN(spec.N, spec.Degree, spec.TermsPerSwitch,
+		rng.At(opts.Seed, rng.StringCoord("adversarial/topology/RRN")))
+	if err != nil {
+		return nil, err
+	}
 	rep := &Report{
 		Title: fmt.Sprintf("Adversarial shift permutation at full load (%s equal-resources scenario)", opts.Scale),
 		Notes: []string{
@@ -225,33 +234,58 @@ func Adversarial(opts AdversarialOptions) (*Report, error) {
 			fmt.Sprintf("§4.2 normalized bisection prediction for this RFC: %.2f",
 				core.NormalizedBisectionRFC(sc.RFC.Leaves, sc.RFC.Radix, sc.RFC.Levels)),
 			"a dragonfly with Valiant routing would cap at 0.50 (§3); simulated values include head-of-line losses",
+			"RRN: equal-T random regular network, minimal routing with 16 hop-indexed VCs",
 		},
 		Header: []string{"network", "accepted", "latency"},
 	}
-	nets := []netUnderTest{
-		{fmt.Sprintf("CFT-R%d", sc.CFT.Radix), cft, routing.New(cft)},
-		{fmt.Sprintf("RFC-R%d", sc.RFC.Radix), rfc, rud},
+	rows := []struct {
+		name string
+		c    *topology.Clos
+		ud   *routing.UpDown
+		rrn  *topology.RRN
+	}{
+		{fmt.Sprintf("CFT-R%d", sc.CFT.Radix), cft, routing.New(cft), nil},
+		{fmt.Sprintf("RFC-R%d", sc.RFC.Radix), rfc, rud, nil},
+		{fmt.Sprintf("RRN-R%d", spec.Radix()), nil, nil, rrn},
 	}
 	type outcome struct{ acc, lat float64 }
-	results, err := engine.Run(len(nets)*opts.Reps, opts.Workers, func(i int) (outcome, error) {
-		n, repIdx := nets[i/opts.Reps], i%opts.Reps
-		stream := rng.At(opts.Seed, rng.StringCoord("adversarial/"+n.name), uint64(repIdx))
+	results, err := engine.Run(len(rows)*opts.Reps, opts.Workers, func(i int) (outcome, error) {
+		row, repIdx := rows[i/opts.Reps], i%opts.Reps
+		stream := rng.At(opts.Seed, rng.StringCoord("adversarial/"+row.name), uint64(repIdx))
+		if row.rrn != nil {
+			cfg := simdirect.Config{
+				VCs:            16, // covers any small-network diameter
+				BufferPackets:  opts.Sim.BufferPackets,
+				PacketLength:   opts.Sim.PacketLength,
+				LinkLatency:    opts.Sim.LinkLatency,
+				WarmupCycles:   opts.Sim.WarmupCycles,
+				MeasureCycles:  opts.Sim.MeasureCycles,
+				SourceQueueCap: opts.Sim.SourceQueueCap,
+				Seed:           stream.Uint64(),
+			}
+			sim, err := simdirect.New(row.rrn, traffic.NewShift(row.rrn.Terminals(), 0), cfg)
+			if err != nil {
+				return outcome{}, err
+			}
+			res := sim.Run(1.0)
+			return outcome{res.AcceptedLoad, res.AvgLatency}, nil
+		}
 		cfg := opts.Sim
 		cfg.Seed = stream.Uint64()
-		res := simnet.New(n.c, n.ud, traffic.NewShift(n.c.Terminals(), 0), cfg).Run(1.0)
+		res := simnet.New(row.c, row.ud, traffic.NewShift(row.c.Terminals(), 0), cfg).Run(1.0)
 		return outcome{res.AcceptedLoad, res.AvgLatency}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	for ni, n := range nets {
+	for ri, row := range rows {
 		var acc, lat metrics.Summary
 		for r := 0; r < opts.Reps; r++ {
-			o := results[ni*opts.Reps+r]
+			o := results[ri*opts.Reps+r]
 			acc.Add(o.acc)
 			lat.Add(o.lat)
 		}
-		rep.AddRow(n.name, fmt.Sprintf("%.4f", acc.Mean()), fmt.Sprintf("%.1f", lat.Mean()))
+		rep.AddRow(row.name, fmt.Sprintf("%.4f", acc.Mean()), fmt.Sprintf("%.1f", lat.Mean()))
 	}
 	return rep, nil
 }

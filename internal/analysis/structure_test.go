@@ -49,17 +49,21 @@ func TestAdversarialReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Rows) != 2 {
-		t.Fatalf("rows = %d, want 2", len(rep.Rows))
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (CFT, RFC, RRN)", len(rep.Rows))
 	}
 	for _, row := range rep.Rows {
 		acc := atofOrZero(row[1])
 		// The rearrangeably non-blocking CFT routes a permutation at high
 		// rate; the RFC sustains a large fraction too (§4.2's normalized
-		// bisection is ~0.8 at this scale, minus head-of-line losses).
+		// bisection is ~0.8 at this scale, minus head-of-line losses); the
+		// equal-T RRN's minimal routing lands near the 50% bisection mark.
 		min := 0.35
 		if strings.HasPrefix(row[0], "CFT") {
 			min = 0.55
+		}
+		if strings.HasPrefix(row[0], "RRN") {
+			min = 0.30
 		}
 		if acc < min {
 			t.Errorf("%s: adversarial accepted %v, want > %v", row[0], acc, min)

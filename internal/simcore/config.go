@@ -1,26 +1,9 @@
-// Package simnet is a cycle-driven, packet-granularity virtual cut-through
-// network simulator reproducing the INSEE configuration of Table 2: 4
-// virtual channels, 4-packet buffers per VC, 16-phit packets, 1-cycle
-// links, random output arbitration with one iteration per cycle, shortest
-// injection and random up/down request routing, a warm-up phase followed by
-// a measured window.
-//
-// Modelling notes (see DESIGN.md §2 "Substitutions"):
-//
-//   - Packets, not phits, are the simulated unit. A packet transfer holds
-//     its link for PacketLength cycles and its header becomes routable at
-//     the next switch after LinkLatency cycles (cut-through), so latency
-//     and throughput match a phit-level VCT simulation while running an
-//     order of magnitude faster.
-//   - Virtual-channel buffer space is tracked as an occupancy count per
-//     (channel, VC): a slot is reserved when a packet is dispatched into it
-//     and released when the packet's tail leaves it, i.e. credits with
-//     zero-latency return, as in functional-mode INSEE.
-//   - Up/down routing needs no VCs for deadlock freedom; the 4 VCs reduce
-//     head-of-line blocking exactly as in the paper.
-package simnet
+package simcore
 
-// Config carries the Table 2 simulation parameters.
+// Config carries the Table 2 simulation parameters shared by every network
+// class. It is the single defaulting path for the engine: simnet exposes it
+// directly and simdirect maps its narrower Config onto it, so both classes
+// run under byte-identical switch and link models.
 type Config struct {
 	// VCs is the number of virtual channels per link (Table 2: 4).
 	VCs int
@@ -42,23 +25,22 @@ type Config struct {
 	// RequestRefresh is how many cycles a blocked head packet keeps its
 	// randomly chosen output request before re-randomizing it. 1
 	// re-randomizes every cycle as INSEE does; larger values trade a
-	// little adaptivity for speed.
+	// little adaptivity for speed. Routers whose hop choice must be
+	// re-drawn every cycle (the direct-network minimal router) pin this
+	// to 1.
 	RequestRefresh int
 	// HashRouting selects the deterministic D-mod-K-style ECMP policy:
 	// every hop choice is keyed by the packet's (src, dst) flow hash
 	// instead of re-randomised per cycle (the Table 2 "up/down random"
 	// request mode, the default). Deterministic hashing pins each flow to
 	// one path, which concentrates collisions — the ablation quantifies
-	// the cost.
+	// the cost. Interpreted by the Router; the up/down adapter honours it.
 	HashRouting bool
 	// InfiniteSink, when true, removes the one-phit-per-cycle ejection
 	// bandwidth limit at each terminal: packets reaching their destination
-	// leaf are consumed immediately regardless of how many arrive at once.
-	// The default (false) models a NIC that drains one phit per cycle,
-	// symmetric with injection. The choice only matters for hot-spot
-	// patterns such as fixed-random, where reception contention caps
-	// throughput; INSEE's reception model is not specified in Table 2, so
-	// the harness reports fixed-random under both models.
+	// switch are consumed immediately regardless of how many arrive at
+	// once. The default (false) models a NIC that drains one phit per
+	// cycle, symmetric with injection.
 	InfiniteSink bool
 	// SampleInterval, when positive, records a Timeline sample every that
 	// many cycles (warm-up included): generated/delivered packet rates and
@@ -73,18 +55,6 @@ type Config struct {
 	AutoWarmup bool
 	// Seed makes the whole simulation reproducible.
 	Seed uint64
-}
-
-// TimePoint is one Timeline sample covering the interval ending at Cycle.
-type TimePoint struct {
-	Cycle     int
-	Generated int
-	Delivered int
-	// AvgLatency is the mean latency of packets delivered in the interval
-	// (0 when none).
-	AvgLatency float64
-	// InFlight is the packet population at the sample instant.
-	InFlight int
 }
 
 // DefaultConfig returns the Table 2 parameters with a 2,000-cycle warm-up.
@@ -102,9 +72,10 @@ func DefaultConfig() Config {
 	}
 }
 
-// validate fills zero fields with defaults so a partially specified Config
-// is usable.
-func (c Config) withDefaults() Config {
+// WithDefaults fills zero fields with Table 2 defaults so a partially
+// specified Config is usable. Both network-class front ends defer to it, so
+// their defaults cannot drift apart.
+func (c Config) WithDefaults() Config {
 	d := DefaultConfig()
 	if c.VCs <= 0 {
 		c.VCs = d.VCs
@@ -136,6 +107,18 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// TimePoint is one Timeline sample covering the interval ending at Cycle.
+type TimePoint struct {
+	Cycle     int
+	Generated int
+	Delivered int
+	// AvgLatency is the mean latency of packets delivered in the interval
+	// (0 when none).
+	AvgLatency float64
+	// InFlight is the packet population at the sample instant.
+	InFlight int
+}
+
 // Result reports one simulation run.
 type Result struct {
 	// OfferedLoad is the configured generation rate in phits per terminal
@@ -160,7 +143,7 @@ type Result struct {
 	Generated       int // packets generated in the window
 	Delivered       int // packets delivered in the window
 	DroppedAtSource int // generation attempts rejected by a full source queue (window)
-	UnroutableDrops int // packets whose pair has no up/down path (window)
+	UnroutableDrops int // packets whose pair has no route (window)
 	MeasuredCycles  int
 
 	// Conservation counters over the entire run (warm-up included), used
@@ -174,9 +157,26 @@ type Result struct {
 	InSourceAtEnd   int
 	// Stalled reports the watchdog's verdict: packets were in the network
 	// but deliveries ceased for the last quarter of the run (or never
-	// happened) — impossible under correct deadlock-free up/down routing
+	// happened) — impossible under a correct deadlock-free routing policy
 	// and a strong canary in fault experiments.
 	Stalled bool
 	// Timeline holds per-interval samples when Config.SampleInterval > 0.
 	Timeline []TimePoint
+}
+
+// rateStable reports whether two consecutive window delivery counts agree
+// within 5%.
+func rateStable(a, b int) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	max := a
+	if b > max {
+		max = b
+	}
+	if max == 0 {
+		return true
+	}
+	return float64(diff) <= 0.05*float64(max)
 }

@@ -1,0 +1,53 @@
+// Command gengolden regenerates internal/simcore/testdata/golden.json, the
+// fixed-seed Result snapshots the golden determinism regression compares
+// the unified engine against.
+//
+// The checked-in file was captured from the pre-unification simnet and
+// simdirect simulators; regenerate it only when a Result change is
+// intentional and understood, since doing so re-blesses the current engine:
+//
+//	go run ./internal/simcore/gengolden
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rfclos/internal/simcore/goldencases"
+	"rfclos/internal/simnet"
+)
+
+func main() {
+	type entry struct {
+		Name   string
+		Result simnet.Result
+	}
+	var entries []entry
+	for _, c := range goldencases.Cases() {
+		res, err := c.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gengolden: %s: %v\n", c.Name, err)
+			os.Exit(1)
+		}
+		entries = append(entries, entry{c.Name, res})
+		fmt.Printf("%-50s accepted=%.4f latency=%.2f delivered=%d\n",
+			c.Name, res.AcceptedLoad, res.AvgLatency, res.Delivered)
+	}
+	out, err := json.MarshalIndent(entries, "", "\t")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gengolden:", err)
+		os.Exit(1)
+	}
+	path := filepath.Join("internal", "simcore", "testdata", "golden.json")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "gengolden:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "gengolden:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", path)
+}

@@ -1,0 +1,62 @@
+package simcore_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"rfclos/internal/simcore"
+	"rfclos/internal/simcore/goldencases"
+)
+
+// TestGoldenResults pins the unified engine to the fixed-seed Results the
+// pre-unification simnet and simdirect simulators produced, byte for byte
+// (testdata/golden.json, captured before the engines were merged). A
+// failure means the refactor changed simulation behaviour — RNG consumption
+// order, arbitration scan order, event scheduling — not just structure.
+// Regenerate the snapshots only for an intentional behaviour change:
+//
+//	go run ./internal/simcore/gengolden
+func TestGoldenResults(t *testing.T) {
+	raw, err := os.ReadFile("testdata/golden.json")
+	if err != nil {
+		t.Fatalf("reading golden snapshots: %v", err)
+	}
+	var entries []struct {
+		Name   string
+		Result simcore.Result
+	}
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		t.Fatalf("parsing golden snapshots: %v", err)
+	}
+	cases := goldencases.Cases()
+	if len(entries) != len(cases) {
+		t.Fatalf("golden.json has %d entries, goldencases defines %d; regenerate with go run ./internal/simcore/gengolden",
+			len(entries), len(cases))
+	}
+	for i, c := range cases {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			if entries[i].Name != c.Name {
+				t.Fatalf("case order drifted: golden.json[%d] = %q, goldencases[%d] = %q",
+					i, entries[i].Name, i, c.Name)
+			}
+			got, err := c.Run()
+			if err != nil {
+				t.Fatalf("running case: %v", err)
+			}
+			gotJSON, err := json.Marshal(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantJSON, err := json.Marshal(entries[i].Result)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotJSON, wantJSON) {
+				t.Errorf("Result diverged from pre-refactor snapshot\n got: %s\nwant: %s", gotJSON, wantJSON)
+			}
+		})
+	}
+}

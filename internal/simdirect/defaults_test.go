@@ -1,0 +1,25 @@
+package simdirect
+
+import (
+	"testing"
+
+	"rfclos/internal/simcore"
+	"rfclos/internal/simnet"
+)
+
+// TestDefaultsAgreeAcrossFrontEnds pins both network-class front ends to the
+// one simcore defaulting path: a zero simdirect.Config must produce exactly
+// the Table 2 engine parameters a zero simnet.Config does, except for
+// RequestRefresh, which the direct adapter pins to 1 (its random hop choice
+// must be re-drawn every cycle).
+func TestDefaultsAgreeAcrossFrontEnds(t *testing.T) {
+	got := Config{}.engineConfig()
+	want := simnet.Config{}.WithDefaults()
+	want.RequestRefresh = 1
+	if got != want {
+		t.Errorf("simdirect defaults diverged from simnet's:\n got %+v\nwant %+v", got, want)
+	}
+	if d := simnet.DefaultConfig(); d != simcore.DefaultConfig() {
+		t.Errorf("simnet.DefaultConfig() = %+v, simcore.DefaultConfig() = %+v", d, simcore.DefaultConfig())
+	}
+}

@@ -1,9 +1,12 @@
-// Package simdirect is a cycle-driven virtual cut-through simulator for
-// direct networks — the Jellyfish-style random regular networks (RRN) the
-// paper uses as its random baseline but deliberately leaves out of its
-// simulations (§6: "the Jellyfish ... is out of the natural competition").
-// This package makes the comparison possible anyway, as an extension.
+// Package simdirect simulates direct networks — the Jellyfish-style random
+// regular networks (RRN) the paper uses as its random baseline but
+// deliberately leaves out of its simulations (§6: "the Jellyfish ... is out
+// of the natural competition"). This package makes the comparison possible
+// anyway, as an extension.
 //
+// It is a thin adapter over the unified cycle engine (internal/simcore): the
+// engine owns the entire virtual cut-through machinery, and this package
+// contributes only the topology wiring and the minimal-path routing policy.
 // Routing is equal-cost multi-path over shortest paths: per hop, the packet
 // picks uniformly among neighbours one hop closer to the destination
 // (precomputed distance tables). Unlike a folded Clos, a direct network's
@@ -19,10 +22,8 @@ package simdirect
 
 import (
 	"fmt"
-	"math"
 
-	"rfclos/internal/metrics"
-	"rfclos/internal/rng"
+	"rfclos/internal/simcore"
 	"rfclos/internal/simnet"
 	"rfclos/internal/topology"
 	"rfclos/internal/traffic"
@@ -41,449 +42,60 @@ type Config struct {
 	Seed           uint64
 }
 
-func (c Config) withDefaults() Config {
-	d := simnet.DefaultConfig()
-	if c.VCs <= 0 {
-		c.VCs = d.VCs
-	}
-	if c.BufferPackets <= 0 {
-		c.BufferPackets = d.BufferPackets
-	}
-	if c.PacketLength <= 0 {
-		c.PacketLength = d.PacketLength
-	}
-	if c.LinkLatency <= 0 {
-		c.LinkLatency = d.LinkLatency
-	}
-	if c.WarmupCycles <= 0 {
-		c.WarmupCycles = d.WarmupCycles
-	}
-	if c.MeasureCycles <= 0 {
-		c.MeasureCycles = d.MeasureCycles
-	}
-	if c.SourceQueueCap <= 0 {
-		c.SourceQueueCap = d.SourceQueueCap
-	}
-	if c.Seed == 0 {
-		c.Seed = 1
-	}
-	return c
+// engineConfig maps onto the shared engine Config — the one defaulting path
+// for both network classes. RequestRefresh is pinned to 1 because the
+// minimal router's random hop choice must be re-drawn every cycle a head
+// packet stays blocked (INSEE behaviour); every cross-cycle request cache
+// would freeze a random choice the policy re-randomises.
+func (c Config) engineConfig() simcore.Config {
+	return simcore.Config{
+		VCs:            c.VCs,
+		BufferPackets:  c.BufferPackets,
+		PacketLength:   c.PacketLength,
+		LinkLatency:    c.LinkLatency,
+		WarmupCycles:   c.WarmupCycles,
+		MeasureCycles:  c.MeasureCycles,
+		SourceQueueCap: c.SourceQueueCap,
+		Seed:           c.Seed,
+		RequestRefresh: 1,
+	}.WithDefaults()
 }
 
 // Result aliases the indirect simulator's result type: the statistics have
 // identical meaning.
 type Result = simnet.Result
 
-type packet struct {
-	src, dst  int32 // terminals
-	dstSwitch int32
-	genAt     int32
-	readyAt   int32
-	hop       int8 // hops taken so far = current VC index
-}
-
 // Sim simulates one RRN under one traffic pattern.
 type Sim struct {
-	cfg  Config
-	rrn  *topology.RRN
-	pat  traffic.Pattern
-	rnd  *rng.Rand
-	tps  int       // terminals per switch
-	n    int       // switches
-	dist [][]int32 // all-pairs hop distances
-
-	// Directed channels: edge (u -> adj[u][i]) has a channel id.
-	chTo     []int32
-	chFreeAt []int32
-	outCh    [][]int32 // per switch, aligned with G.Neighbors order
-	inCh     [][]int32
-
-	qBuf       []int32
-	qHead      []uint8
-	qLen       []uint8
-	vcOccupied []uint8
-
-	activeSrc   [][]int64
-	inActiveQ   []bool
-	inActiveInj []bool
-
-	srcQ      [][]int32
-	injFreeAt []int32
-	ejFreeAt  []int32
-	nextGen   []int32
-
-	pool []packet
-	free []int32
-
-	ringSize  int32
-	relBucket [][]int32
-	delBucket [][]int32
-
-	cycle        int32
-	measuring    bool
-	lat          metrics.Histogram
-	generated    int
-	delivered    int
-	droppedSrc   int
-	totGenerated int
-	totDelivered int
-	totDropped   int
-	inFlight     int
-	lastDelivery int32
-
-	candCount []int32
-	candSrc   []int64
-	usedPorts []int32
+	eng *simcore.Engine
 }
 
 // New builds the simulator, computing all-pairs distance tables. It fails
 // when the graph is disconnected or the VC count cannot cover the diameter.
 func New(rrn *topology.RRN, pat traffic.Pattern, cfg Config) (*Sim, error) {
-	cfg = cfg.withDefaults()
-	g := rrn.G
-	n := g.N()
-	s := &Sim{
-		cfg: cfg, rrn: rrn, pat: pat,
-		rnd: rng.New(cfg.Seed),
-		tps: rrn.TermsPerSwitch,
-		n:   n,
+	ec := cfg.engineConfig()
+	router, diameter, err := MinimalRouter(rrn)
+	if err != nil {
+		return nil, err
 	}
-	// Distance tables via BFS from every switch.
-	s.dist = make([][]int32, n)
-	diameter := 0
-	for v := 0; v < n; v++ {
-		s.dist[v] = g.BFS(v, nil)
-		for _, d := range s.dist[v] {
-			if d < 0 {
-				return nil, fmt.Errorf("simdirect: network disconnected")
-			}
-			if int(d) > diameter {
-				diameter = int(d)
-			}
-		}
-	}
-	if cfg.VCs < diameter {
+	if ec.VCs < diameter {
 		return nil, fmt.Errorf("simdirect: %d VCs cannot cover diameter %d (hop-indexed deadlock avoidance)",
-			cfg.VCs, diameter)
+			ec.VCs, diameter)
 	}
-	// Channels.
-	s.outCh = make([][]int32, n)
-	s.inCh = make([][]int32, n)
-	for u := 0; u < n; u++ {
-		ns := g.Neighbors(u)
-		s.outCh[u] = make([]int32, len(ns))
-		for i, v := range ns {
-			ch := int32(len(s.chTo))
-			s.chTo = append(s.chTo, v)
-			s.outCh[u][i] = ch
-			s.inCh[v] = append(s.inCh[v], ch)
-		}
+	n := rrn.G.N()
+	spec := simcore.Spec{
+		Switches:  n,
+		Ports:     make([][]int32, n),
+		Terminals: rrn.Terminals(),
+		TermsPer:  rrn.TermsPerSwitch,
 	}
-	s.chFreeAt = make([]int32, len(s.chTo))
-
-	nvc := len(s.chTo) * cfg.VCs
-	s.qBuf = make([]int32, nvc*cfg.BufferPackets)
-	s.qHead = make([]uint8, nvc)
-	s.qLen = make([]uint8, nvc)
-	s.vcOccupied = make([]uint8, nvc)
-	s.activeSrc = make([][]int64, n)
-	s.inActiveQ = make([]bool, nvc)
-
-	terms := rrn.Terminals()
-	s.inActiveInj = make([]bool, terms)
-	s.srcQ = make([][]int32, terms)
-	s.injFreeAt = make([]int32, terms)
-	s.ejFreeAt = make([]int32, terms)
-	s.nextGen = make([]int32, terms)
-
-	s.ringSize = int32(cfg.PacketLength + cfg.LinkLatency + 2)
-	s.relBucket = make([][]int32, s.ringSize)
-	s.delBucket = make([][]int32, s.ringSize)
-
-	maxOut := 0
-	for u := range s.outCh {
-		if o := len(s.outCh[u]) + s.tps; o > maxOut {
-			maxOut = o
-		}
+	for sw := 0; sw < n; sw++ {
+		spec.Ports[sw] = rrn.G.Neighbors(sw)
 	}
-	s.candCount = make([]int32, maxOut)
-	s.candSrc = make([]int64, maxOut)
-	s.usedPorts = make([]int32, 0, maxOut)
-	return s, nil
+	return &Sim{eng: simcore.New(spec, router, pat, ec)}, nil
 }
 
 // Run simulates warm-up plus the measurement window at the offered load.
 func (s *Sim) Run(load float64) Result {
-	if load < 0 {
-		load = 0
-	}
-	p := load / float64(s.cfg.PacketLength)
-	for t := range s.nextGen {
-		s.nextGen[t] = s.drawGap(p)
-	}
-	warm := int32(s.cfg.WarmupCycles)
-	total := warm + int32(s.cfg.MeasureCycles)
-	for s.cycle = 0; s.cycle < total; s.cycle++ {
-		if s.cycle == warm {
-			s.measuring = true
-			s.generated, s.delivered, s.droppedSrc = 0, 0, 0
-			s.lat = metrics.Histogram{}
-		}
-		s.processEvents()
-		s.generate(p)
-		s.arbitrate()
-	}
-	inSource := 0
-	for t := range s.srcQ {
-		inSource += len(s.srcQ[t])
-	}
-	terms := len(s.srcQ)
-	res := Result{
-		OfferedLoad:     load,
-		AcceptedLoad:    float64(s.delivered*s.cfg.PacketLength) / (float64(terms) * float64(s.cfg.MeasureCycles)),
-		AvgLatency:      s.lat.Mean(),
-		P50Latency:      s.lat.Quantile(0.50),
-		P95Latency:      s.lat.Quantile(0.95),
-		P99Latency:      s.lat.Quantile(0.99),
-		MaxLatency:      s.lat.Max(),
-		Generated:       s.generated,
-		Delivered:       s.delivered,
-		DroppedAtSource: s.droppedSrc,
-		MeasuredCycles:  s.cfg.MeasureCycles,
-		TotalGenerated:  s.totGenerated,
-		TotalDelivered:  s.totDelivered,
-		TotalDropped:    s.totDropped,
-		InFlightAtEnd:   s.inFlight,
-		InSourceAtEnd:   inSource,
-	}
-	res.Stalled = s.inFlight-inSource > 0 && total-s.lastDelivery > int32(s.cfg.MeasureCycles)/4
-	return res
-}
-
-func (s *Sim) drawGap(p float64) int32 {
-	if p <= 0 {
-		return math.MaxInt32
-	}
-	if p >= 1 {
-		return 1
-	}
-	u := s.rnd.Float64()
-	for u == 0 {
-		u = s.rnd.Float64()
-	}
-	g := int32(math.Log(u)/math.Log(1-p)) + 1
-	if g < 1 {
-		g = 1
-	}
-	return g
-}
-
-func (s *Sim) processEvents() {
-	slot := s.cycle % s.ringSize
-	for _, code := range s.relBucket[slot] {
-		s.vcOccupied[code]--
-	}
-	s.relBucket[slot] = s.relBucket[slot][:0]
-	for _, pk := range s.delBucket[slot] {
-		p := &s.pool[pk]
-		s.totDelivered++
-		s.inFlight--
-		s.lastDelivery = s.cycle
-		if s.measuring {
-			s.delivered++
-			s.lat.Add(int(s.cycle - p.genAt))
-		}
-		s.free = append(s.free, pk)
-	}
-	s.delBucket[slot] = s.delBucket[slot][:0]
-}
-
-func (s *Sim) generate(p float64) {
-	if p <= 0 {
-		return
-	}
-	for t := range s.nextGen {
-		if s.nextGen[t] > s.cycle {
-			continue
-		}
-		s.nextGen[t] = s.cycle + s.drawGap(p)
-		dst := s.pat.Dest(t, s.rnd)
-		if dst < 0 {
-			continue
-		}
-		if s.measuring {
-			s.generated++
-		}
-		s.totGenerated++
-		if len(s.srcQ[t]) >= s.cfg.SourceQueueCap {
-			s.totDropped++
-			if s.measuring {
-				s.droppedSrc++
-			}
-			continue
-		}
-		pk := s.alloc()
-		pp := &s.pool[pk]
-		pp.src, pp.dst = int32(t), int32(dst)
-		pp.dstSwitch = int32(dst / s.tps)
-		pp.genAt, pp.readyAt = s.cycle, s.cycle
-		pp.hop = 0
-		s.srcQ[t] = append(s.srcQ[t], pk)
-		sw := t / s.tps
-		if !s.inActiveInj[t] {
-			s.inActiveInj[t] = true
-			s.activeSrc[sw] = append(s.activeSrc[sw], -int64(t)-1)
-		}
-		s.inFlight++
-	}
-}
-
-func (s *Sim) alloc() int32 {
-	if n := len(s.free); n > 0 {
-		pk := s.free[n-1]
-		s.free = s.free[:n-1]
-		return pk
-	}
-	s.pool = append(s.pool, packet{})
-	return int32(len(s.pool) - 1)
-}
-
-// arbitrate mirrors the indirect simulator: per-output random arbitration
-// over the active sources at every switch.
-func (s *Sim) arbitrate() {
-	for sw := 0; sw < s.n; sw++ {
-		list := s.activeSrc[sw]
-		if len(list) == 0 {
-			continue
-		}
-		s.usedPorts = s.usedPorts[:0]
-		for i := 0; i < len(list); {
-			src := list[i]
-			if src < 0 {
-				term := int32(-src - 1)
-				if len(s.srcQ[term]) == 0 {
-					s.inActiveInj[term] = false
-					list[i] = list[len(list)-1]
-					list = list[:len(list)-1]
-					continue
-				}
-				if s.injFreeAt[term] <= s.cycle {
-					s.consider(int32(sw), s.srcQ[term][0], src)
-				}
-			} else {
-				q := int32(src)
-				if s.qLen[q] == 0 {
-					s.inActiveQ[q] = false
-					list[i] = list[len(list)-1]
-					list = list[:len(list)-1]
-					continue
-				}
-				pk := s.qBuf[int(q)*s.cfg.BufferPackets+int(s.qHead[q])]
-				if s.pool[pk].readyAt <= s.cycle {
-					s.consider(int32(sw), pk, src)
-				}
-			}
-			i++
-		}
-		s.activeSrc[sw] = list
-		for _, port := range s.usedPorts {
-			src := s.candSrc[port]
-			s.candCount[port] = 0
-			s.dispatch(int32(sw), int(port), src)
-		}
-	}
-}
-
-// consider registers an arbitration candidate: ejection when the packet is
-// at its destination switch, else a random minimal next hop with VC space
-// at VC index hop+... the packet's current hop count.
-func (s *Sim) consider(sw, pk int32, src int64) {
-	p := &s.pool[pk]
-	var portIdx int32
-	if p.dstSwitch == sw {
-		local := int(p.dst) % s.tps
-		portIdx = int32(len(s.outCh[sw]) + local)
-		if s.ejFreeAt[p.dst] > s.cycle {
-			return
-		}
-	} else {
-		port := s.minimalPort(sw, p)
-		if port < 0 {
-			return
-		}
-		portIdx = int32(port)
-		ch := s.outCh[sw][port]
-		if s.chFreeAt[ch] > s.cycle {
-			return
-		}
-		// Hop-indexed VC: exactly one VC is eligible.
-		vc := int32(p.hop)
-		if int(s.vcOccupied[ch*int32(s.cfg.VCs)+vc]) >= s.cfg.BufferPackets {
-			return
-		}
-	}
-	s.candCount[portIdx]++
-	if s.candCount[portIdx] == 1 {
-		s.usedPorts = append(s.usedPorts, portIdx)
-		s.candSrc[portIdx] = src
-	} else if s.rnd.Intn(int(s.candCount[portIdx])) == 0 {
-		s.candSrc[portIdx] = src
-	}
-}
-
-// minimalPort picks uniformly among neighbours one hop closer to the
-// packet's destination switch.
-func (s *Sim) minimalPort(sw int32, p *packet) int {
-	dd := s.dist[p.dstSwitch]
-	want := dd[sw] - 1
-	chosen, count := -1, 0
-	for i, v := range s.rrn.G.Neighbors(int(sw)) {
-		if dd[v] == want {
-			count++
-			if count == 1 || s.rnd.Intn(count) == 0 {
-				chosen = i
-			}
-		}
-	}
-	return chosen
-}
-
-func (s *Sim) dispatch(sw int32, port int, src int64) {
-	var pk int32
-	if src < 0 {
-		term := int32(-src - 1)
-		pk = s.srcQ[term][0]
-		s.srcQ[term] = s.srcQ[term][1:]
-		s.injFreeAt[term] = s.cycle + int32(s.cfg.PacketLength)
-	} else {
-		q := int32(src)
-		pk = s.qBuf[int(q)*s.cfg.BufferPackets+int(s.qHead[q])]
-		s.qHead[q] = uint8((int(s.qHead[q]) + 1) % s.cfg.BufferPackets)
-		s.qLen[q]--
-		slot := (s.cycle + int32(s.cfg.PacketLength)) % s.ringSize
-		s.relBucket[slot] = append(s.relBucket[slot], q)
-	}
-	p := &s.pool[pk]
-
-	if p.dstSwitch == sw {
-		s.ejFreeAt[p.dst] = s.cycle + int32(s.cfg.PacketLength)
-		slot := (s.cycle + int32(s.cfg.PacketLength)) % s.ringSize
-		s.delBucket[slot] = append(s.delBucket[slot], pk)
-		return
-	}
-
-	ch := s.outCh[sw][port]
-	q := ch*int32(s.cfg.VCs) + int32(p.hop)
-	s.chFreeAt[ch] = s.cycle + int32(s.cfg.PacketLength)
-	s.vcOccupied[q]++
-	tail := (int(s.qHead[q]) + int(s.qLen[q])) % s.cfg.BufferPackets
-	s.qBuf[int(q)*s.cfg.BufferPackets+tail] = pk
-	s.qLen[q]++
-	to := s.chTo[ch]
-	if !s.inActiveQ[q] {
-		s.inActiveQ[q] = true
-		s.activeSrc[to] = append(s.activeSrc[to], int64(q))
-	}
-	p.readyAt = s.cycle + int32(s.cfg.LinkLatency)
-	p.hop++
+	return s.eng.Run(load)
 }

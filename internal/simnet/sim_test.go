@@ -224,7 +224,7 @@ func TestPairingFullThroughputOnCFT(t *testing.T) {
 }
 
 func TestConfigDefaults(t *testing.T) {
-	cfg := Config{}.withDefaults()
+	cfg := Config{}.WithDefaults()
 	if cfg.VCs != 4 || cfg.BufferPackets != 4 || cfg.PacketLength != 16 ||
 		cfg.LinkLatency != 1 || cfg.MeasureCycles != 10000 {
 		t.Errorf("defaults wrong: %+v", cfg)

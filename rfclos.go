@@ -253,6 +253,14 @@ func Jellyfish(opts analysis.JellyfishOptions) (*Report, error) { return analysi
 // JellyfishOptions configures Jellyfish.
 type JellyfishOptions = analysis.JellyfishOptions
 
+// RRNFaults extends the Figure 12 fault methodology to the random baseline:
+// RFC vs equal-T RRN throughput under growing link faults, for uniform and
+// adversarial shift traffic, both on the unified cycle engine.
+func RRNFaults(opts analysis.RRNFaultsOptions) (*Report, error) { return analysis.RRNFaults(opts) }
+
+// RRNFaultsOptions configures RRNFaults.
+type RRNFaultsOptions = analysis.RRNFaultsOptions
+
 // GeneralParams describes an arbitrary (non-radix-regular) folded Clos
 // shape per Definition 4.1.
 type GeneralParams = core.GeneralParams

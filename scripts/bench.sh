@@ -1,8 +1,11 @@
 #!/bin/sh
-# Benchmarks the parallel experiment engine: runs the Figure 8 sweep once
-# with -workers 1 and once with -workers <nproc>, checks the two reports are
-# byte-identical, and appends a datapoint (times, speedup, core count) to
-# BENCH_engine.json at the repo root.
+# Benchmarks the experiment machinery and appends datapoints to
+# BENCH_engine.json at the repo root:
+#   - parallel experiment engine: the Figure 8 sweep once with -workers 1
+#     and once with -workers <nproc>, checking the two reports are
+#     byte-identical (times, speedup, core count), and
+#   - unified cycle engine: simcore packet throughput in simulated
+#     cycles/sec (BenchmarkEngineCycles).
 #
 # Usage: scripts/bench.sh [reps] [cycles]
 set -eu
@@ -36,22 +39,31 @@ rm -f "$out1" "$outN"
 
 speedup=$(awk "BEGIN{printf \"%.2f\", $serial / $parallel}")
 date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
-point="  {\"date\": \"$date\", \"exhibit\": \"fig8\", \"reps\": $reps, \"cycles\": $cycles, \"cores\": $cores, \"serial_s\": $serial, \"parallel_s\": $parallel, \"speedup\": $speedup}"
 
-# Append the datapoint into the JSON array (create the file if missing).
-if [ ! -f BENCH_engine.json ]; then
-	printf '[\n%s\n]\n' "$point" >BENCH_engine.json
-else
-	# Drop the closing bracket, add a comma to the last entry, re-close.
-	awk -v point="$point" '
-		{ lines[NR] = $0 }
-		END {
-			while (NR > 0 && lines[NR] !~ /\]/) NR--
-			for (i = 1; i < NR; i++) print (i == NR - 1 ? lines[i] "," : lines[i])
-			print point
-			print "]"
-		}' BENCH_engine.json >BENCH_engine.json.tmp
-	mv BENCH_engine.json.tmp BENCH_engine.json
-fi
+# Simcore packet throughput: simulated cycles per wall-clock second.
+cps=$(go test -run '^$' -bench BenchmarkEngineCycles -benchtime 2s ./internal/simcore/ |
+	awk '/cycles\/sec/ { print $(NF-1) }')
+: "${cps:?bench.sh: BenchmarkEngineCycles produced no cycles/sec metric}"
+
+append_point() { # $1 = JSON object line
+	if [ ! -f BENCH_engine.json ]; then
+		printf '[\n%s\n]\n' "$1" >BENCH_engine.json
+	else
+		# Drop the closing bracket, add a comma to the last entry, re-close.
+		awk -v point="$1" '
+			{ lines[NR] = $0 }
+			END {
+				while (NR > 0 && lines[NR] !~ /\]/) NR--
+				for (i = 1; i < NR; i++) print (i == NR - 1 ? lines[i] "," : lines[i])
+				print point
+				print "]"
+			}' BENCH_engine.json >BENCH_engine.json.tmp
+		mv BENCH_engine.json.tmp BENCH_engine.json
+	fi
+}
+
+append_point "  {\"date\": \"$date\", \"exhibit\": \"fig8\", \"reps\": $reps, \"cycles\": $cycles, \"cores\": $cores, \"serial_s\": $serial, \"parallel_s\": $parallel, \"speedup\": $speedup}"
+append_point "  {\"date\": \"$date\", \"benchmark\": \"simcore-engine\", \"cycles_per_sec\": $cps}"
 
 echo "fig8 x$reps reps @ $cycles cycles: serial ${serial}s, parallel(${cores}) ${parallel}s, speedup ${speedup}x"
+echo "simcore engine: $cps simulated cycles/sec"
