@@ -1,5 +1,7 @@
 // Command rfcpaper regenerates the paper's exhibits: Figures 5-12, Table 3,
-// the §5 cost table and a Theorem 4.2 Monte-Carlo validation.
+// the §5 cost table, a Theorem 4.2 Monte-Carlo validation and the extension
+// experiments. The exhibit set, its "all" order and the per-exhibit defaults
+// all come from the internal/exhibit registry.
 //
 // Usage:
 //
@@ -7,30 +9,41 @@
 //	rfcpaper -exhibit fig8 -scale small
 //	rfcpaper -exhibit table3 -trials 100
 //	rfcpaper -exhibit all -scale small
+//	rfcpaper -list                    # one line per exhibit
 //
 // -scale small (default) runs radix-16 analogues of the simulation
 // scenarios that preserve the paper's comparisons on one machine;
 // -scale paper uses the exact radix-36 networks (11K/100K/200K terminals)
 // and is slow.
+//
+// Sharded runs split an exhibit's job grid across machines:
+//
+//	rfcpaper -exhibit fig8 -shard 0/2 -out parts   # machine A
+//	rfcpaper -exhibit fig8 -shard 1/2 -out parts   # machine B
+//	rfcmerge parts/*.json                          # byte-identical report
+//
+// Every shard writes a partial JSON report; rfcmerge unions them into the
+// exact bytes an unsharded run prints (see EXPERIMENTS.md "Sharded runs").
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
-	"rfclos"
 	"rfclos/internal/analysis"
 	"rfclos/internal/engine"
+	"rfclos/internal/exhibit"
 )
 
 func main() {
 	var (
-		exhibit  = flag.String("exhibit", "all", "fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table3|thm42|costs|ablation|structure|adversarial|tables|jellyfish|rrnfaults|all")
+		ex       = flag.String("exhibit", "all", exhibit.Usage())
 		scale    = flag.String("scale", "small", "small | paper (simulation exhibits)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		trials   = flag.Int("trials", 0, "trials/repetitions (0 = per-exhibit default)")
@@ -41,19 +54,41 @@ func main() {
 		workers  = flag.Int("workers", runtime.NumCPU(), "worker pool size for simulation/Monte-Carlo jobs (results are identical for any value)")
 		infSink  = flag.Bool("infsink", false, "model infinite reception bandwidth (see simnet.Config.InfiniteSink)")
 		asCSV    = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		asJSON   = flag.Bool("json", false, "emit the versioned JSON report instead of aligned text")
+		shardStr = flag.String("shard", "", "run only this slice of each exhibit's job grid, as k/n (requires -out or -json)")
+		outDir   = flag.String("out", "", "write per-exhibit JSON reports into this directory instead of stdout")
+		list     = flag.Bool("list", false, "list the registered exhibits and exit")
 		quiet    = flag.Bool("quiet", false, "suppress progress lines")
 	)
 	flag.Parse()
+	if *list {
+		fmt.Print(exhibit.Help())
+		return
+	}
+	shard, err := engine.ParseShard(*shardStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rfcpaper:", err)
+		os.Exit(2)
+	}
 	r := runner{
-		scale:   analysis.Scale(*scale),
-		seed:    *seed,
-		trials:  *trials,
-		cycles:  *cycles,
-		reps:    *reps,
-		workers: *workers,
-		infSink: *infSink,
-		asCSV:   *asCSV,
-		quiet:   *quiet,
+		params: exhibit.Params{
+			Scale:        analysis.Scale(*scale),
+			Seed:         *seed,
+			Trials:       *trials,
+			Cycles:       *cycles,
+			Reps:         *reps,
+			Workers:      *workers,
+			InfiniteSink: *infSink,
+			Shard:        shard,
+		},
+		asCSV:  *asCSV,
+		asJSON: *asJSON,
+		outDir: *outDir,
+		quiet:  *quiet,
+	}
+	if shard.Enabled() && *outDir == "" && !*asJSON {
+		fmt.Fprintln(os.Stderr, "rfcpaper: -shard produces a partial report; use -out DIR (for rfcmerge) or -json")
+		os.Exit(2)
 	}
 	if *loads != "" {
 		for _, f := range strings.Split(*loads, ",") {
@@ -62,30 +97,24 @@ func main() {
 				fmt.Fprintln(os.Stderr, "rfcpaper: bad -loads:", err)
 				os.Exit(2)
 			}
-			r.loads = append(r.loads, v)
+			r.params.Loads = append(r.params.Loads, v)
 		}
 	}
 	if *patterns != "" {
-		r.patterns = strings.Split(*patterns, ",")
+		r.params.Patterns = strings.Split(*patterns, ",")
 	}
-	if err := r.run(*exhibit); err != nil {
+	if err := r.run(*ex); err != nil {
 		fmt.Fprintln(os.Stderr, "rfcpaper:", err)
 		os.Exit(1)
 	}
 }
 
 type runner struct {
-	scale    analysis.Scale
-	seed     uint64
-	trials   int
-	cycles   int
-	reps     int
-	workers  int
-	loads    []float64
-	patterns []string
-	infSink  bool
-	asCSV    bool
-	quiet    bool
+	params exhibit.Params
+	asCSV  bool
+	asJSON bool
+	outDir string
+	quiet  bool
 }
 
 // progress returns a fresh counting/timing progress sink ("[n 1.23s] msg"
@@ -98,165 +127,65 @@ func (r runner) progress() func(string) {
 	return engine.Progress(func(s string) { fmt.Fprintln(os.Stderr, "  ...", s) })
 }
 
-func (r runner) simOptions() analysis.SimOptions {
-	opts := analysis.SimOptions{
-		Seed: r.seed, Reps: r.reps, Workers: r.workers, Progress: r.progress(),
-		Loads: r.loads, Patterns: r.patterns,
+// outPath names an exhibit's JSON file; sharded partials carry the shard in
+// the name so any partition can land in one directory.
+func (r runner) outPath(id string) string {
+	name := id + ".json"
+	if r.params.Shard.Enabled() {
+		name = fmt.Sprintf("%s.shard%d-of-%d.json", id, r.params.Shard.K, r.params.Shard.N)
 	}
-	opts.Sim.InfiniteSink = r.infSink
-	if r.cycles > 0 {
-		opts.Sim.MeasureCycles = r.cycles
-		opts.Sim.WarmupCycles = r.cycles / 4
-	}
-	return opts
+	return filepath.Join(r.outDir, name)
 }
 
-func (r runner) run(exhibit string) error {
-	all := exhibit == "all"
-	ran := false
-	emit := func(rep *rfclos.Report, err error) error {
+// emit renders one finished report per the output flags.
+func (r runner) emit(rep *analysis.Report) error {
+	if r.outDir != "" || r.asJSON {
+		data, err := rep.JSON()
 		if err != nil {
 			return err
 		}
-		if r.asCSV {
-			fmt.Print(rep.CSV())
-		} else {
-			fmt.Println(rep.Format())
+		if r.outDir == "" {
+			fmt.Println(string(data))
+			return nil
 		}
-		ran = true
+		path := r.outPath(rep.Exhibit)
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		if !r.quiet {
+			fmt.Fprintln(os.Stderr, "wrote", path)
+		}
 		return nil
 	}
-	start := time.Now()
-	radix := 36 // the paper's commodity radix for the analytic exhibits
+	if r.asCSV {
+		fmt.Print(rep.CSV())
+	} else {
+		fmt.Println(rep.Format())
+	}
+	return nil
+}
 
-	if all || exhibit == "fig5" {
-		if err := emit(rfclos.Fig5Diameter(radix), nil); err != nil {
+func (r runner) run(arg string) error {
+	exhibits, err := exhibit.Resolve(arg)
+	if err != nil {
+		return err
+	}
+	if r.outDir != "" {
+		if err := os.MkdirAll(r.outDir, 0o755); err != nil {
 			return err
 		}
 	}
-	if all || exhibit == "fig6" {
-		if err := emit(rfclos.Fig6Scalability(nil), nil); err != nil {
+	start := time.Now()
+	for _, e := range exhibits {
+		p := r.params
+		p.Progress = r.progress()
+		rep, err := e.Run(p)
+		if err != nil {
 			return err
 		}
-	}
-	if all || exhibit == "fig7" {
-		if err := emit(rfclos.Fig7Expandability(radix, 0, 40), nil); err != nil {
+		if err := r.emit(rep); err != nil {
 			return err
 		}
-	}
-	if all || exhibit == "costs" {
-		if err := emit(rfclos.Costs(), nil); err != nil {
-			return err
-		}
-	}
-	if all || exhibit == "thm42" {
-		n1, tr := 300, 100
-		if r.trials > 0 {
-			tr = r.trials
-		}
-		rep, err := rfclos.Thm42(n1, tr, r.workers, r.seed)
-		if err := emit(rep, err); err != nil {
-			return err
-		}
-	}
-	for i, name := range []string{"fig8", "fig9", "fig10"} {
-		if all || exhibit == name {
-			rep, err := rfclos.ScenarioSweep(r.scale, i, r.simOptions())
-			if err := emit(rep, err); err != nil {
-				return err
-			}
-		}
-	}
-	if all || exhibit == "fig11" {
-		opts := rfclos.Fig11Options{Radix: 12, Seed: r.seed, Workers: r.workers}
-		if r.trials > 0 {
-			opts.Trials = r.trials
-		}
-		rep, err := rfclos.Fig11UpDownFaults(opts)
-		if err := emit(rep, err); err != nil {
-			return err
-		}
-	}
-	if all || exhibit == "fig12" {
-		opts := rfclos.Fig12Options{Scale: r.scale, Seed: r.seed, Reps: r.reps, Workers: r.workers, Progress: r.progress()}
-		if r.cycles > 0 {
-			opts.Sim.MeasureCycles = r.cycles
-			opts.Sim.WarmupCycles = r.cycles / 4
-		}
-		rep, err := rfclos.Fig12FaultThroughput(opts)
-		if err := emit(rep, err); err != nil {
-			return err
-		}
-	}
-	if all || exhibit == "ablation" {
-		opts := rfclos.AblationOptions{Scale: r.scale, Seed: r.seed, Reps: r.reps, Workers: r.workers}
-		if r.cycles > 0 {
-			opts.Sim.MeasureCycles = r.cycles
-			opts.Sim.WarmupCycles = r.cycles / 4
-		}
-		rep, err := rfclos.Ablations(opts)
-		if err := emit(rep, err); err != nil {
-			return err
-		}
-	}
-	if all || exhibit == "structure" {
-		opts := rfclos.StructureOptions{Seed: r.seed}
-		rep, err := rfclos.Structure(opts)
-		if err := emit(rep, err); err != nil {
-			return err
-		}
-	}
-	if all || exhibit == "adversarial" {
-		opts := rfclos.AdversarialOptions{Scale: r.scale, Seed: r.seed, Reps: r.reps, Workers: r.workers}
-		if r.cycles > 0 {
-			opts.Sim.MeasureCycles = r.cycles
-			opts.Sim.WarmupCycles = r.cycles / 4
-		}
-		rep, err := rfclos.Adversarial(opts)
-		if err := emit(rep, err); err != nil {
-			return err
-		}
-	}
-	if all || exhibit == "tables" {
-		rep, err := rfclos.TablesReport(r.scale, 8, r.seed)
-		if err := emit(rep, err); err != nil {
-			return err
-		}
-	}
-	if all || exhibit == "jellyfish" {
-		opts := rfclos.JellyfishOptions{Scale: r.scale, Seed: r.seed, Reps: r.reps, Workers: r.workers, Loads: r.loads}
-		if r.cycles > 0 {
-			opts.Sim.MeasureCycles = r.cycles
-			opts.Sim.WarmupCycles = r.cycles / 4
-		}
-		rep, err := rfclos.Jellyfish(opts)
-		if err := emit(rep, err); err != nil {
-			return err
-		}
-	}
-	if all || exhibit == "rrnfaults" {
-		opts := rfclos.RRNFaultsOptions{Scale: r.scale, Seed: r.seed, Reps: r.reps, Workers: r.workers, Progress: r.progress()}
-		if r.cycles > 0 {
-			opts.Sim.MeasureCycles = r.cycles
-			opts.Sim.WarmupCycles = r.cycles / 4
-		}
-		rep, err := rfclos.RRNFaults(opts)
-		if err := emit(rep, err); err != nil {
-			return err
-		}
-	}
-	if all || exhibit == "table3" {
-		opts := rfclos.Table3Options{Seed: r.seed, Workers: r.workers}
-		if r.trials > 0 {
-			opts.Trials = r.trials
-		}
-		rep, err := rfclos.Table3Disconnect(opts)
-		if err := emit(rep, err); err != nil {
-			return err
-		}
-	}
-	if !ran {
-		return fmt.Errorf("unknown exhibit %q", exhibit)
 	}
 	if !r.quiet {
 		fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))

@@ -20,6 +20,9 @@ type AblationOptions struct {
 	// on; 0 means one per CPU. The report is identical for any worker count.
 	Workers int
 	Seed    uint64
+	// Shard restricts execution to the grid jobs this process owns;
+	// partial reports merge byte-identically (see engine.Shard).
+	Shard engine.Shard
 }
 
 // ablationSpec is one knob setting of the ablation grid.
@@ -84,7 +87,7 @@ func Ablations(opts AblationOptions) (*Report, error) {
 		ablationSpec{"infinite-sink", 1, func(c *simnet.Config) { c.InfiniteSink = true }})
 
 	type outcome struct{ acc, lat float64 }
-	results, err := engine.Run(len(specs)*opts.Reps, opts.Workers, func(i int) (outcome, error) {
+	results, err := engine.RunShard(len(specs)*opts.Reps, opts.Workers, opts.Shard, func(i int) (outcome, error) {
 		spec, rep := specs[i/opts.Reps], i%opts.Reps
 		stream := rng.At(opts.Seed, rng.StringCoord("ablation/"+spec.knob), uint64(spec.value), uint64(rep))
 		cfg := opts.Sim
@@ -103,13 +106,16 @@ func Ablations(opts AblationOptions) (*Report, error) {
 		Header: []string{"knob", "value", "accepted", "latency"},
 	}
 	for si, spec := range specs {
-		var acc, lat metrics.Summary
-		for rep := 0; rep < opts.Reps; rep++ {
-			o := results[si*opts.Reps+rep]
-			acc.Add(o.acc)
-			lat.Add(o.lat)
+		var accObs, latObs []metrics.Obs
+		for r := 0; r < opts.Reps; r++ {
+			i := si*opts.Reps + r
+			if opts.Shard.Owns(i) {
+				accObs = append(accObs, metrics.Obs{Job: i, V: results[i].acc})
+				latObs = append(latObs, metrics.Obs{Job: i, V: results[i].lat})
+			}
 		}
-		rep.AddRow(spec.knob, itoa(spec.value), fmt.Sprintf("%.4f", acc.Mean()), fmt.Sprintf("%.1f", lat.Mean()))
+		rep.AddKeyed(fmt.Sprintf("%s=%d", spec.knob, spec.value), Str(spec.knob), Int(spec.value),
+			Mean(accObs, opts.Reps, "%.4f"), Mean(latObs, opts.Reps, "%.1f"))
 	}
 	return rep, nil
 }

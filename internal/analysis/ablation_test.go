@@ -23,7 +23,7 @@ func TestAblations(t *testing.T) {
 		t.Fatalf("rows = %d, want 15", len(rep.Rows))
 	}
 	vals := map[string]float64{}
-	for _, row := range rep.Rows {
+	for _, row := range rep.Strings() {
 		a := atofOrZero(row[2])
 		if a <= 0 || a > 1.05 {
 			t.Errorf("accepted %v out of range for %v=%v", a, row[0], row[1])

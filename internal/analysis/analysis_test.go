@@ -137,7 +137,7 @@ func TestFig5Report(t *testing.T) {
 		t.Fatal("empty report")
 	}
 	found := map[string]string{}
-	for _, row := range rep.Rows {
+	for _, row := range rep.Strings() {
 		found[row[0]+"/"+row[1]] = row[2]
 	}
 	if found["CFT/4"] != "11664" {
@@ -152,7 +152,7 @@ func TestFig5Report(t *testing.T) {
 func TestFig6Report(t *testing.T) {
 	rep := Fig6Scalability([]int{36})
 	vals := map[string]float64{}
-	for _, row := range rep.Rows {
+	for _, row := range rep.Strings() {
 		vals[row[0]+"/l"+row[1]] = atofOrZero(row[3])
 	}
 	// Scalability ordering at radix 36, 3 levels: OFT > RFC > CFT.
@@ -179,7 +179,7 @@ func TestFig7Report(t *testing.T) {
 	rep := Fig7Expandability(36, 50000, 20)
 	var cftCosts, rfcCosts []float64
 	var rfcTs []float64
-	for _, row := range rep.Rows {
+	for _, row := range rep.Strings() {
 		switch row[0] {
 		case "CFT":
 			cftCosts = append(cftCosts, atofOrZero(row[2]))
@@ -223,7 +223,7 @@ func TestThm42Report(t *testing.T) {
 	if len(rep.Rows) < 3 {
 		t.Fatalf("too few rows: %d", len(rep.Rows))
 	}
-	for _, row := range rep.Rows {
+	for _, row := range rep.Strings() {
 		emp := atofOrZero(row[2])
 		if emp < 0 || emp > 1 {
 			t.Errorf("empirical probability %v out of range", emp)
@@ -231,8 +231,8 @@ func TestThm42Report(t *testing.T) {
 	}
 	// Probabilities at the extremes of the sweep behave as the theorem
 	// dictates.
-	first := atofOrZero(rep.Rows[0][2])
-	last := atofOrZero(rep.Rows[len(rep.Rows)-1][2])
+	first := atofOrZero(rep.Strings()[0][2])
+	last := atofOrZero(rep.Strings()[len(rep.Rows)-1][2])
 	if first > 0.4 {
 		t.Errorf("lowest radix empirical = %v, want near 0", first)
 	}
@@ -250,7 +250,7 @@ func TestTable3Small(t *testing.T) {
 		t.Fatalf("rows = %d", len(rep.Rows))
 	}
 	// Row for 1024 has all four topologies; percentages in (0, 100).
-	row := rep.Rows[1]
+	row := rep.Strings()[1]
 	for i := 1; i < len(row); i++ {
 		v := atofOrZero(strings.Split(row[i], "%")[0])
 		if v <= 0 || v >= 100 {
@@ -278,7 +278,7 @@ func TestFig11Small(t *testing.T) {
 		t.Fatal("empty report")
 	}
 	sawRFC3 := false
-	for _, row := range rep.Rows {
+	for _, row := range rep.Strings() {
 		y := atofOrZero(row[2])
 		if y < 0 || y > 1 {
 			t.Errorf("tolerated fraction %v out of range (%v)", y, row)
@@ -313,7 +313,7 @@ func TestScenarioSweepTiny(t *testing.T) {
 		t.Fatalf("rows = %d, want 24", len(rep.Rows))
 	}
 	// At 20% offered load, uniform throughput should track the offer.
-	for _, row := range rep.Rows {
+	for _, row := range rep.Strings() {
 		if strings.Contains(row[0], "uniform/throughput") && row[1] == "0.2" {
 			if y := atofOrZero(row[2]); y < 0.17 || y > 0.22 {
 				t.Errorf("%s at 0.2 offered: accepted %v", row[0], y)
@@ -336,7 +336,7 @@ func TestFig12Tiny(t *testing.T) {
 	if len(rep.Rows) != 2*3*3 { // 2 nets × 3 patterns × 3 fault points
 		t.Fatalf("rows = %d, want 18", len(rep.Rows))
 	}
-	for _, row := range rep.Rows {
+	for _, row := range rep.Strings() {
 		y := atofOrZero(row[2])
 		if y < 0 || y > 1.1 {
 			t.Errorf("accepted load %v out of range", y)
@@ -359,7 +359,7 @@ func TestRRNFaultsTiny(t *testing.T) {
 		t.Fatalf("rows = %d, want 12", len(rep.Rows))
 	}
 	seenRRN := false
-	for _, row := range rep.Rows {
+	for _, row := range rep.Strings() {
 		y := atofOrZero(row[2])
 		if y < 0 || y > 1.1 {
 			t.Errorf("accepted load %v out of range", y)
@@ -411,7 +411,7 @@ func TestFig7MatchesConstructedNetworks(t *testing.T) {
 	// actually built at the same sizes.
 	rep := Fig7Expandability(8, 500, 10)
 	r := rng.New(9)
-	for _, row := range rep.Rows {
+	for _, row := range rep.Strings() {
 		tcount := int(atofOrZero(row[1]))
 		ports := int(atofOrZero(row[2]))
 		switch row[0] {
@@ -450,10 +450,9 @@ func TestFig7MatchesConstructedNetworks(t *testing.T) {
 }
 
 func TestReportCSV(t *testing.T) {
-	rep := &Report{
-		Header: []string{"a", "b"},
-		Rows:   [][]string{{"1", "x,y"}, {"2", `q"z`}},
-	}
+	rep := &Report{Header: []string{"a", "b"}}
+	rep.AddRow(Str("1"), Str("x,y"))
+	rep.AddRow(Str("2"), Str(`q"z`))
 	csv := rep.CSV()
 	want := "a,b\n1,\"x,y\"\n2,\"q\"\"z\"\n"
 	if csv != want {

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"rfclos/internal/core"
+	"rfclos/internal/engine"
 	"rfclos/internal/simnet"
 )
 
@@ -95,5 +96,105 @@ func TestThm42WorkerInvariance(t *testing.T) {
 	parallel := reportText(t, func() (*Report, error) { return Thm42(60, 12, 8, 27) })
 	if serial != parallel {
 		t.Errorf("Thm42 differs between workers=1 and workers=8:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", serial, parallel)
+	}
+}
+
+// assertShardMerge checks the sharding contract end-to-end for one exhibit
+// runner: for 2-way and 3-way partitions, running every shard, serializing
+// each partial through the JSON wire format (the rfcmerge path) and merging
+// reproduces the unsharded run's Format() byte-for-byte.
+func assertShardMerge(t *testing.T, name string, run func(engine.Shard) (*Report, error)) {
+	t.Helper()
+	full, err := run(engine.Shard{})
+	if err != nil {
+		t.Fatalf("%s unsharded: %v", name, err)
+	}
+	want := full.Format()
+	for _, n := range []int{2, 3} {
+		var parts []*Report
+		for k := 0; k < n; k++ {
+			p, err := run(engine.Shard{K: k, N: n})
+			if err != nil {
+				t.Fatalf("%s shard %d/%d: %v", name, k, n, err)
+			}
+			data, err := p.JSON()
+			if err != nil {
+				t.Fatalf("%s shard %d/%d JSON: %v", name, k, n, err)
+			}
+			back, err := ParseReport(data)
+			if err != nil {
+				t.Fatalf("%s shard %d/%d parse: %v", name, k, n, err)
+			}
+			parts = append(parts, back)
+		}
+		merged, err := MergeReports(parts...)
+		if err != nil {
+			t.Fatalf("%s merge %d shards: %v", name, n, err)
+		}
+		if missing := merged.MissingObs(); missing != 0 {
+			t.Errorf("%s merge %d shards: %d observations missing", name, n, missing)
+		}
+		if got := merged.Format(); got != want {
+			t.Errorf("%s: %d-shard merge differs from unsharded run:\n--- unsharded ---\n%s\n--- merged ---\n%s",
+				name, n, want, got)
+		}
+	}
+}
+
+func TestScenarioSweepShardMerge(t *testing.T) {
+	sc := Scenario{
+		Name: "tiny",
+		CFT:  CFTSpec{Radix: 8, Levels: 3, TermsPerLeaf: 4},
+		RFC:  core.Params{Radix: 8, Levels: 3, Leaves: 32},
+	}
+	assertShardMerge(t, "ScenarioSweep", func(sh engine.Shard) (*Report, error) {
+		return ScenarioSweep(sc, SimOptions{
+			Loads:    []float64{0.2, 0.6},
+			Reps:     2,
+			Patterns: []string{"uniform"},
+			Sim:      simnet.Config{WarmupCycles: 100, MeasureCycles: 300},
+			Seed:     21,
+			Shard:    sh,
+		})
+	})
+}
+
+func TestTable3ShardMerge(t *testing.T) {
+	assertShardMerge(t, "Table3Disconnect", func(sh engine.Shard) (*Report, error) {
+		return Table3Disconnect(Table3Options{Targets: []int{256}, Trials: 8, Seed: 25, Shard: sh})
+	})
+}
+
+func TestThm42ShardMerge(t *testing.T) {
+	assertShardMerge(t, "Thm42", func(sh engine.Shard) (*Report, error) {
+		return Thm42Sharded(Thm42Options{N1: 60, Trials: 12, Seed: 27, Shard: sh})
+	})
+}
+
+func TestFig11ShardMerge(t *testing.T) {
+	assertShardMerge(t, "Fig11UpDownFaults", func(sh engine.Shard) (*Report, error) {
+		return Fig11UpDownFaults(Fig11Options{Radix: 8, Trials: 2, MaxLeavesCap: 40, Seed: 29, Shard: sh})
+	})
+}
+
+func TestAdversarialShardMerge(t *testing.T) {
+	assertShardMerge(t, "Adversarial", func(sh engine.Shard) (*Report, error) {
+		return Adversarial(AdversarialOptions{
+			Reps: 2, Sim: simnet.Config{WarmupCycles: 100, MeasureCycles: 300}, Seed: 31, Shard: sh,
+		})
+	})
+}
+
+// TestStaticReportMerge checks the all-static case: every shard of an
+// analytic exhibit computes the identical complete report, and merging the
+// copies must reproduce it unchanged.
+func TestStaticReportMerge(t *testing.T) {
+	a, b := Fig5Diameter(36), Fig5Diameter(36)
+	merged, err := MergeReports(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Format() != a.Format() {
+		t.Errorf("merging two identical static reports changed the bytes")
 	}
 }

@@ -5,8 +5,11 @@ import (
 	"math"
 
 	"rfclos/internal/core"
+	"rfclos/internal/engine"
 	"rfclos/internal/gf"
+	"rfclos/internal/metrics"
 	"rfclos/internal/rng"
+	"rfclos/internal/routing"
 	"rfclos/internal/topology"
 )
 
@@ -26,19 +29,19 @@ func Fig5Diameter(radix int) *Report {
 	}
 	for l := 2; l <= 5; l++ {
 		d := 2 * (l - 1)
-		rep.AddRow("CFT", itoa(d), itoa(cftTerminals(radix, l)))
+		rep.AddRow(Str("CFT"), Int(d), Int(cftTerminals(radix, l)))
 	}
 	// Largest prime power q with 2(q+1) <= radix.
 	q := largestPrimePowerOrder(radix)
 	for l := 2; l <= 4; l++ {
 		d := 2 * (l - 1)
 		if q > 0 {
-			rep.AddRow("OFT", itoa(d), itoa(topology.OFTTerminals(q, l)))
+			rep.AddRow(Str("OFT"), Int(d), Int(topology.OFTTerminals(q, l)))
 		}
 	}
 	for l := 2; l <= 5; l++ {
 		d := 2 * (l - 1)
-		rep.AddRow("RFC", itoa(d), itoa(core.MaxTerminals(radix, l)))
+		rep.AddRow(Str("RFC"), Int(d), Int(core.MaxTerminals(radix, l)))
 	}
 	for d := 2; d <= 8; d++ {
 		// RRN at fixed radix: Δ = R·D/(D+1) network ports, Δ/D terminals.
@@ -48,7 +51,7 @@ func Fig5Diameter(radix int) *Report {
 			continue
 		}
 		n := core.RRNMaxSwitches(deg, d)
-		rep.AddRow("RRN", itoa(d), itoa(n*tps))
+		rep.AddRow(Str("RRN"), Int(d), Int(n*tps))
 	}
 	return rep
 }
@@ -82,16 +85,16 @@ func Fig6Scalability(radices []int) *Report {
 	}
 	for _, l := range []int{2, 3, 4} {
 		for _, r := range radices {
-			rep.AddRow("CFT", itoa(l), itoa(r), itoa(cftTerminals(r, l)))
-			rep.AddRow("RFC", itoa(l), itoa(r), itoa(core.MaxTerminals(r, l)))
+			rep.AddRow(Str("CFT"), Int(l), Int(r), Int(cftTerminals(r, l)))
+			rep.AddRow(Str("RFC"), Int(l), Int(r), Int(core.MaxTerminals(r, l)))
 			if q := largestPrimePowerOrder(r); q > 0 {
-				rep.AddRow("OFT", itoa(l), itoa(2*(q+1)), itoa(topology.OFTTerminals(q, l)))
+				rep.AddRow(Str("OFT"), Int(l), Int(2*(q+1)), Int(topology.OFTTerminals(q, l)))
 			}
 			d := 2 * (l - 1)
 			deg := int(float64(r) * float64(d) / float64(d+1))
 			tps := r - deg
 			if deg >= 3 && tps >= 1 {
-				rep.AddRow("RRN", itoa(l), itoa(r), itoa(core.RRNMaxSwitches(deg, d)*tps))
+				rep.AddRow(Str("RRN"), Int(l), Int(r), Int(core.RRNMaxSwitches(deg, d)*tps))
 			}
 		}
 	}
@@ -127,7 +130,7 @@ func Fig7Expandability(radix int, maxTerminals int, points int) *Report {
 			if cftTerminals(radix, l) >= t {
 				n1 := cftTerminals(radix, l) / (radix / 2)
 				wires := (l - 1) * n1 * radix / 2
-				rep.AddRow("CFT", itoa(t), itoa(2*wires+t))
+				rep.AddRow(Str("CFT"), Int(t), Int(2*wires+t))
 				break
 			}
 		}
@@ -138,7 +141,7 @@ func Fig7Expandability(radix int, maxTerminals int, points int) *Report {
 					n := q*q + q + 1
 					n1 := 2 * pow(n, l-1)
 					wires := (l - 1) * n1 * (q + 1)
-					rep.AddRow("OFT", itoa(t), itoa(2*wires+t))
+					rep.AddRow(Str("OFT"), Int(t), Int(2*wires+t))
 					break
 				}
 			}
@@ -147,7 +150,7 @@ func Fig7Expandability(radix int, maxTerminals int, points int) *Report {
 		for l := 2; l <= 6; l++ {
 			if core.MaxTerminals(radix, l) >= t {
 				p := core.ParamsForTerminals(radix, l, t)
-				rep.AddRow("RFC", itoa(t), itoa(2*p.Wires()+t))
+				rep.AddRow(Str("RFC"), Int(t), Int(2*p.Wires()+t))
 				break
 			}
 		}
@@ -161,7 +164,7 @@ func Fig7Expandability(radix int, maxTerminals int, points int) *Report {
 			}
 			if core.RRNMaxSwitches(deg, d)*tps >= t {
 				n := (t + tps - 1) / tps
-				rep.AddRow("RRN", itoa(t), itoa(n*deg+t))
+				rep.AddRow(Str("RRN"), Int(t), Int(n*deg+t))
 				break
 			}
 		}
@@ -204,7 +207,7 @@ func Costs() *Report {
 		cft4,
 	}
 	for _, r := range rows {
-		rep.AddRow(r.name, itoa(r.t), itoa(r.switches), itoa(r.wires), itoa(r.radix))
+		rep.AddRow(Str(r.name), Int(r.t), Int(r.switches), Int(r.wires), Int(r.radix))
 	}
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("200K savings vs 4-level CFT: %.0f%% switches, %.0f%% wires",
@@ -213,25 +216,39 @@ func Costs() *Report {
 	return rep
 }
 
-// Thm42 reproduces the Theorem 4.2 probability curve empirically: for a
-// 2-level RFC of n1 leaves, it sweeps the radix across the threshold and
-// reports empirical routability frequency against the asymptotic
-// e^{-e^{-x}} and the exact finite-size Poisson prediction. The Monte-Carlo
-// trials of every radix row fan out on a worker pool (workers <= 0 means
-// one per CPU); each trial's generator is derived from (seed, radix, trial),
-// so the report is byte-identical for any worker count.
-func Thm42(n1, trials, workers int, seed uint64) (*Report, error) {
-	if n1 <= 0 {
-		n1 = 200
+// Thm42Options parameterises the Theorem 4.2 Monte-Carlo check.
+type Thm42Options struct {
+	N1      int // leaves of the 2-level RFC (default 200)
+	Trials  int // generations per radix row (default 100)
+	Workers int // worker pool size; 0 means one per CPU
+	Seed    uint64
+	// Shard restricts each row's generation trials to the ones this process
+	// owns; partial reports merge byte-identically (see engine.Shard).
+	Shard engine.Shard
+}
+
+// Thm42Sharded reproduces the Theorem 4.2 probability curve empirically: for
+// a 2-level RFC of N1 leaves, it sweeps the radix across the threshold and
+// reports empirical routability frequency against the asymptotic e^{-e^{-x}}
+// and the exact finite-size Poisson prediction. The Monte-Carlo trials of
+// every radix row fan out on a worker pool; each trial's generator is
+// derived from (seed, radix, trial), so the report is byte-identical for any
+// worker count, and each row's empirical frequency is a mergeable aggregate
+// over per-trial 0/1 outcomes (exact under sharding: sums of 0/1 floats
+// carry no rounding).
+func Thm42Sharded(opts Thm42Options) (*Report, error) {
+	if opts.N1 <= 0 {
+		opts.N1 = 200
 	}
-	if trials <= 0 {
-		trials = 100
+	if opts.Trials <= 0 {
+		opts.Trials = 100
 	}
-	if seed == 0 {
-		seed = 1
+	if opts.Seed == 0 {
+		opts.Seed = 1
 	}
+	n1 := opts.N1
 	rep := &Report{
-		Title: fmt.Sprintf("Theorem 4.2 Monte-Carlo (2-level RFC, N1=%d, %d trials/row)", n1, trials),
+		Title: fmt.Sprintf("Theorem 4.2 Monte-Carlo (2-level RFC, N1=%d, %d trials/row)", n1, opts.Trials),
 		Notes: []string{
 			"empirical = fraction of generated RFCs with the common-ancestor property",
 			"asymptotic = e^{-e^{-x}}; exact = e^{-λ} with hypergeometric λ",
@@ -246,15 +263,51 @@ func Thm42(n1, trials, workers int, seed uint64) (*Report, error) {
 		if p.Validate() != nil {
 			continue
 		}
-		rowSeed := rng.DeriveSeed(seed, rng.StringCoord("thm42"), uint64(radix))
-		emp, err := core.EstimateUpDownProbabilityParallel(p, trials, workers, rowSeed)
+		rowSeed := rng.DeriveSeed(opts.Seed, rng.StringCoord("thm42"), uint64(radix))
+		obs, err := routableTrialObs(p, opts.Trials, opts.Workers, rowSeed, opts.Shard)
 		if err != nil {
 			return nil, err
 		}
 		x := core.XParam(radix, n1, 2)
-		rep.AddRow(itoa(radix), ftoa(x), ftoa(emp), ftoa(core.SuccessProbability(x)), ftoa(exactRoutableProb(n1, radix)))
+		rep.AddKeyed(fmt.Sprintf("R=%d", radix),
+			Int(radix), Float(x, "%.4g"), Mean(obs, opts.Trials, "%.4g"),
+			Float(core.SuccessProbability(x), "%.4g"), Float(exactRoutableProb(n1, radix), "%.4g"))
 	}
 	return rep, nil
+}
+
+// Thm42 is Thm42Sharded over the whole trial grid, the pre-shard signature
+// the facade keeps exporting.
+func Thm42(n1, trials, workers int, seed uint64) (*Report, error) {
+	return Thm42Sharded(Thm42Options{N1: n1, Trials: trials, Workers: workers, Seed: seed})
+}
+
+// routableTrialObs runs this shard's generation trials for one Theorem 4.2
+// row (trial i generating from rng.At(seed, i)) and returns the 0/1
+// routability outcomes as job-indexed observations.
+func routableTrialObs(p core.Params, trials, workers int, seed uint64, sh engine.Shard) ([]metrics.Obs, error) {
+	oks, err := engine.RunShard(trials, workers, sh, func(i int) (bool, error) {
+		c, err := core.Generate(p, rng.At(seed, uint64(i)))
+		if err != nil {
+			return false, err
+		}
+		return routing.New(c).Routable(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	obs := make([]metrics.Obs, 0, len(oks))
+	for i, ok := range oks {
+		if !sh.Owns(i) {
+			continue
+		}
+		v := 0.0
+		if ok {
+			v = 1
+		}
+		obs = append(obs, metrics.Obs{Job: i, V: v})
+	}
+	return obs, nil
 }
 
 // exactRoutableProb computes e^{-λ} with the exact hypergeometric pair

@@ -23,6 +23,9 @@ type JellyfishOptions struct {
 	// out on; 0 means one per CPU. The report is identical for any count.
 	Workers int
 	Seed    uint64
+	// Shard restricts execution to the grid jobs this process owns;
+	// partial reports merge byte-identically (see engine.Shard).
+	Shard engine.Shard
 }
 
 // Jellyfish runs the comparison the paper declines to simulate (§6): the
@@ -95,7 +98,7 @@ func Jellyfish(opts JellyfishOptions) (*Report, error) {
 
 	type outcome struct{ acc, lat float64 }
 	perRow := len(opts.Loads) * opts.Reps
-	results, err := engine.Run(len(rows)*perRow, opts.Workers, func(i int) (outcome, error) {
+	results, err := engine.RunShard(len(rows)*perRow, opts.Workers, opts.Shard, func(i int) (outcome, error) {
 		row := rows[i/perRow]
 		load := opts.Loads[(i%perRow)/opts.Reps]
 		rep := i % opts.Reps
@@ -142,14 +145,16 @@ func Jellyfish(opts JellyfishOptions) (*Report, error) {
 	}
 	for ri, row := range rows {
 		for li, load := range opts.Loads {
-			var acc, lat metrics.Summary
+			var accObs, latObs []metrics.Obs
 			for r := 0; r < opts.Reps; r++ {
-				o := results[ri*perRow+li*opts.Reps+r]
-				acc.Add(o.acc)
-				lat.Add(o.lat)
+				i := ri*perRow + li*opts.Reps + r
+				if opts.Shard.Owns(i) {
+					accObs = append(accObs, metrics.Obs{Job: i, V: results[i].acc})
+					latObs = append(latObs, metrics.Obs{Job: i, V: results[i].lat})
+				}
 			}
-			rep.AddRow(row.name, ftoa(load),
-				fmt.Sprintf("%.4f", acc.Mean()), fmt.Sprintf("%.1f", lat.Mean()))
+			rep.AddKeyed(fmt.Sprintf("%s@%g", row.name, load), Str(row.name), Float(load, "%.4g"),
+				Mean(accObs, opts.Reps, "%.4f"), Mean(latObs, opts.Reps, "%.1f"))
 		}
 	}
 	return rep, nil

@@ -5,6 +5,7 @@ import (
 
 	"rfclos/internal/core"
 	"rfclos/internal/engine"
+	"rfclos/internal/graph"
 	"rfclos/internal/metrics"
 	"rfclos/internal/rng"
 	"rfclos/internal/routing"
@@ -21,6 +22,9 @@ type Table3Options struct {
 	// one per CPU. The table is identical for any worker count.
 	Workers int
 	Seed    uint64
+	// Shard restricts each cell's removal trials to the ones this process
+	// owns; partial reports merge byte-identically (see engine.Shard).
+	Shard engine.Shard
 }
 
 // Table3Disconnect reproduces Table 3: the average percentage of links that
@@ -55,44 +59,50 @@ func Table3Disconnect(opts Table3Options) (*Report, error) {
 	genStream := func(topo string, target int) *rng.Rand {
 		return rng.At(opts.Seed, rng.StringCoord("table3/gen/"+topo), uint64(target))
 	}
+	// disconnectCell renders mean(count)/links*100 with the radix suffix,
+	// from this shard's trials of the cell.
+	disconnectCell := func(g *graph.Graph, topo string, target, radix int) Cell {
+		obs := disconnectObs(g, opts.Trials, opts.Workers, cellSeed(topo, target), opts.Shard)
+		c := Mean(obs, opts.Trials, "%.1f")
+		c.Div = float64(g.M())
+		c.Mul = 100
+		c.Suffix = fmt.Sprintf("%% (R=%d)", radix)
+		return c
+	}
 	for _, target := range opts.Targets {
-		row := []string{itoa(target)}
+		cells := []Cell{Int(target)}
 
 		cftR := cftRadixFor(target, 3)
 		cft, err := topology.NewCFT(cftR, 3)
 		if err != nil {
 			return nil, err
 		}
-		row = append(row, fmt.Sprintf("%.1f%% (R=%d)",
-			100*AverageFaultsToDisconnectSeeded(cft.SwitchGraph(), opts.Trials, opts.Workers, cellSeed("CFT", target)), cftR))
+		cells = append(cells, disconnectCell(cft.SwitchGraph(), "CFT", target, cftR))
 
 		spec := rrnSpecFor(target, 4)
 		rrn, err := topology.NewRRN(spec.N, spec.Degree, spec.TermsPerSwitch, genStream("RRN", target))
 		if err != nil {
 			return nil, err
 		}
-		row = append(row, fmt.Sprintf("%.1f%% (R=%d)",
-			100*AverageFaultsToDisconnectSeeded(rrn.G, opts.Trials, opts.Workers, cellSeed("RRN", target)), spec.Radix()))
+		cells = append(cells, disconnectCell(rrn.G, "RRN", target, spec.Radix()))
 
 		p := rfcParamsFor(target, 3)
 		rfc, err := core.Generate(p, genStream("RFC", target))
 		if err != nil {
 			return nil, err
 		}
-		row = append(row, fmt.Sprintf("%.1f%% (R=%d)",
-			100*AverageFaultsToDisconnectSeeded(rfc.SwitchGraph(), opts.Trials, opts.Workers, cellSeed("RFC", target)), p.Radix))
+		cells = append(cells, disconnectCell(rfc.SwitchGraph(), "RFC", target, p.Radix))
 
 		if q, ok := oftOrderFor(target, 3); ok {
 			oft, err := topology.NewOFT(q, 3)
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, fmt.Sprintf("%.1f%% (R=%d)",
-				100*AverageFaultsToDisconnectSeeded(oft.SwitchGraph(), opts.Trials, opts.Workers, cellSeed("OFT", target)), 2*(q+1)))
+			cells = append(cells, disconnectCell(oft.SwitchGraph(), "OFT", target, 2*(q+1)))
 		} else {
-			row = append(row, "-")
+			cells = append(cells, Str("-"))
 		}
-		rep.Rows = append(rep.Rows, row)
+		rep.AddKeyed(fmt.Sprintf("T=%d", target), cells...)
 	}
 	return rep, nil
 }
@@ -108,6 +118,10 @@ type Fig11Options struct {
 	// 0 means one per CPU. The report is identical for any worker count.
 	Workers int
 	Seed    uint64
+	// Shard restricts each point's removal trials to the ones this process
+	// owns (networks are still generated everywhere — they fix the row
+	// structure); partial reports merge byte-identically.
+	Shard engine.Shard
 }
 
 // fig11Point is one network point of the Figure 11 sweep: a series label,
@@ -199,26 +213,41 @@ func Fig11UpDownFaults(opts Fig11Options) (*Report, error) {
 	}
 
 	// Measure tolerance per point; the trials within a point fan out with
-	// seeds keyed by (series, terminal count, trial).
-	var series []metrics.Series
-	bySeries := map[string]int{}
+	// seeds keyed by (series, terminal count, trial), this shard running
+	// only the trials it owns. Rows are grouped by series in first-seen
+	// order, exactly as the old Series-based path emitted them.
+	type f11row struct {
+		x     float64
+		wires int
+		obs   []metrics.Obs
+	}
+	var order []string
+	rowsBySeries := map[string][]f11row{}
 	for _, pt := range points {
 		if pt.c == nil {
 			continue
 		}
-		idx, ok := bySeries[pt.series]
-		if !ok {
-			idx = len(series)
-			bySeries[pt.series] = idx
-			series = append(series, metrics.Series{Name: pt.series})
+		if _, ok := rowsBySeries[pt.series]; !ok {
+			order = append(order, pt.series)
 		}
 		trialSeed := rng.DeriveSeed(opts.Seed, rng.StringCoord("fig11/trial/"+pt.series), uint64(pt.x))
-		tol := AverageUpDownFaultToleranceSeeded(pt.c, opts.Trials, opts.Workers, trialSeed)
-		series[idx].Add(pt.x, tol, 0)
+		obs := upDownFaultObs(pt.c, opts.Trials, opts.Workers, trialSeed, opts.Shard)
+		rowsBySeries[pt.series] = append(rowsBySeries[pt.series], f11row{pt.x, pt.c.Wires(), obs})
 	}
-	return seriesReport(fmt.Sprintf("Figure 11: up/down fault tolerance, radix %d", opts.Radix),
-		[]string{"y = fraction of links removable before some leaf pair loses every up/down path"},
-		"terminals", "tolerated fraction", series), nil
+	rep := &Report{
+		Title:  fmt.Sprintf("Figure 11: up/down fault tolerance, radix %d", opts.Radix),
+		Notes:  []string{"y = fraction of links removable before some leaf pair loses every up/down path"},
+		Header: []string{"series", "terminals", "tolerated fraction", "stddev"},
+	}
+	for _, name := range order {
+		for _, row := range rowsBySeries[name] {
+			tol := Mean(row.obs, opts.Trials, "%.4f")
+			tol.Div = float64(row.wires)
+			rep.AddKeyed(fmt.Sprintf("%s@%g", name, row.x),
+				Str(name), Float(row.x, "%g"), tol, Float(0, "%.4f"))
+		}
+	}
+	return rep, nil
 }
 
 // Fig12Options parameterises the throughput-under-faults experiment.
@@ -232,6 +261,9 @@ type Fig12Options struct {
 	Workers  int
 	Seed     uint64
 	Progress func(string)
+	// Shard restricts execution to the grid jobs this process owns;
+	// partial reports merge byte-identically.
+	Shard engine.Shard
 }
 
 // fig12Job is one (network, pattern, fault count, repetition) grid point.
@@ -292,7 +324,7 @@ func Fig12FaultThroughput(opts Fig12Options) (*Report, error) {
 			}
 		}
 	}
-	accepted, err := engine.Run(len(jobs), opts.Workers, func(i int) (float64, error) {
+	accepted, err := engine.RunShard(len(jobs), opts.Workers, opts.Shard, func(i int) (float64, error) {
 		j := jobs[i]
 		stream := rng.At(opts.Seed, rng.StringCoord("fig12/"+j.net.name), rng.StringCoord(j.pattern),
 			uint64(j.faults), uint64(j.rep))
@@ -320,16 +352,21 @@ func Fig12FaultThroughput(opts Fig12Options) (*Report, error) {
 	// pattern) group; the grid is jobs-ordered, so the block arithmetic
 	// mirrors the construction loop above.
 	per := (opts.FaultSteps + 1) * opts.Reps
-	collectors := make([]metrics.Collector, len(nets)*len(traffic.Names()))
-	for i, acc := range accepted {
-		collectors[i/per].Add(float64(jobs[i].faults), acc)
-	}
-	var series []metrics.Series
-	for g, c := range collectors {
+	groups := len(nets) * len(traffic.Names())
+	var sset seriesSet
+	cols := make([]*metrics.JobCollector, groups)
+	for g := 0; g < groups; g++ {
 		first := jobs[g*per]
-		series = append(series, c.Series(first.net.name+"/"+first.pattern))
+		cols[g] = sset.col(first.net.name + "/" + first.pattern)
 	}
-	return seriesReport("Figure 12: max throughput under link faults (equal-resources scenario)",
+	for i := range jobs {
+		g := i / per
+		cols[g].Expect(float64(jobs[i].faults))
+		if opts.Shard.Owns(i) {
+			cols[g].Observe(float64(jobs[i].faults), i, accepted[i])
+		}
+	}
+	return sset.report("Figure 12: max throughput under link faults (equal-resources scenario)",
 		[]string{fmt.Sprintf("scale=%s; offered load 1.0; faults up to ~13%% of wires", opts.Scale)},
-		"faulty links", "accepted load", series), nil
+		"faulty links", "accepted load"), nil
 }

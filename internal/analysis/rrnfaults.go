@@ -26,6 +26,9 @@ type RRNFaultsOptions struct {
 	Workers  int
 	Seed     uint64
 	Progress func(string)
+	// Shard restricts execution to the grid jobs this process owns;
+	// partial reports merge byte-identically (see engine.Shard).
+	Shard engine.Shard
 }
 
 // rrnFaultsJob is one (network, pattern, fault count, repetition) point.
@@ -100,7 +103,7 @@ func RRNFaults(opts RRNFaultsOptions) (*Report, error) {
 		}
 		return traffic.NewUniform(terms)
 	}
-	accepted, err := engine.Run(len(jobs), opts.Workers, func(i int) (float64, error) {
+	accepted, err := engine.RunShard(len(jobs), opts.Workers, opts.Shard, func(i int) (float64, error) {
 		j := jobs[i]
 		stream := rng.At(opts.Seed, rng.StringCoord("rrnfaults/"+j.net), rng.StringCoord(j.pattern),
 			uint64(j.faults), uint64(j.rep))
@@ -147,23 +150,28 @@ func RRNFaults(opts RRNFaultsOptions) (*Report, error) {
 	// Merge per-job accepted loads into one collector per (network, pattern)
 	// group; the grid is jobs-ordered, mirroring the construction loop.
 	per := (opts.FaultSteps + 1) * opts.Reps
-	collectors := make([]metrics.Collector, 2*len(patterns))
-	for i, acc := range accepted {
-		collectors[i/per].Add(float64(jobs[i].faults), acc)
-	}
-	var series []metrics.Series
-	for g, c := range collectors {
+	groups := 2 * len(patterns)
+	var sset seriesSet
+	cols := make([]*metrics.JobCollector, groups)
+	for g := 0; g < groups; g++ {
 		first := jobs[g*per]
-		series = append(series, c.Series(first.net+"/"+first.pattern))
+		cols[g] = sset.col(first.net + "/" + first.pattern)
 	}
-	return seriesReport("Extension: max throughput under link faults, RFC vs RRN (unified engine)",
+	for i := range jobs {
+		g := i / per
+		cols[g].Expect(float64(jobs[i].faults))
+		if opts.Shard.Owns(i) {
+			cols[g].Observe(float64(jobs[i].faults), i, accepted[i])
+		}
+	}
+	return sset.report("Extension: max throughput under link faults, RFC vs RRN (unified engine)",
 		[]string{
 			fmt.Sprintf("scale=%s; offered load 1.0; faults up to ~13%% of each network's wires", opts.Scale),
 			fmt.Sprintf("RFC: %v, up/down routing around faults; RRN: %d switches × R%d, minimal routing with %d hop-indexed VCs",
 				sc.RFC, rrn.N(), spec.Radix(), rrnVCs),
 			"RRN points score 0 when faults disconnect the graph or push its diameter past the VC budget",
 		},
-		"faulty links", "accepted load", series), nil
+		"faulty links", "accepted load"), nil
 }
 
 // removeRandomGraphLinks deletes n uniformly random edges from g (fewer when

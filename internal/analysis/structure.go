@@ -69,8 +69,8 @@ func Structure(opts StructureOptions) (*Report, error) {
 		if lb > 0 {
 			lbs = fmt.Sprintf("%.0f", lb)
 		}
-		rep.AddRow(name, itoa(radix), itoa(c.Terminals()), itoa(diam),
-			fmt.Sprintf("%.2f", mean), fmt.Sprintf("%.2f", div), itoa(ub), lbs)
+		rep.AddKeyed(name, Str(name), Int(radix), Int(c.Terminals()), Int(diam),
+			Float(mean, "%.2f"), Float(div, "%.2f"), Int(ub), Str(lbs))
 	}
 
 	cftR := cftRadixFor(opts.Target, 3)
@@ -105,9 +105,9 @@ func Structure(opts StructureOptions) (*Report, error) {
 	mean := g.AverageDistance(minInt(g.N(), 50), r)
 	div := pathDiversity(g, g.N(), opts.PairSamples/4, r)
 	ub := g.BisectionUpperBound(3, r)
-	rep.AddRow("RRN", itoa(spec.Radix()), itoa(rrn.Terminals()), itoa(diam),
-		fmt.Sprintf("%.2f", mean), fmt.Sprintf("%.2f", div), itoa(ub),
-		fmt.Sprintf("%.0f", core.BisectionLowerBoundRRN(g.N(), spec.Degree)))
+	rep.AddKeyed("RRN", Str("RRN"), Int(spec.Radix()), Int(rrn.Terminals()), Int(diam),
+		Float(mean, "%.2f"), Float(div, "%.2f"), Int(ub),
+		Float(core.BisectionLowerBoundRRN(g.N(), spec.Degree), "%.0f"))
 	// Expander certificate for the random baseline (§2/§4.2): |λ₂| vs the
 	// Ramanujan bound 2√(d−1).
 	lambda2 := g.SecondEigenvalue(300, r)
@@ -193,6 +193,9 @@ type AdversarialOptions struct {
 	// 0 means one per CPU. The report is identical for any worker count.
 	Workers int
 	Seed    uint64
+	// Shard restricts execution to the (network × rep) jobs this process
+	// owns; partial reports merge byte-identically (see engine.Shard).
+	Shard engine.Shard
 }
 
 // Adversarial measures the §4.2/§3 claim that RFCs route adversarial
@@ -249,7 +252,7 @@ func Adversarial(opts AdversarialOptions) (*Report, error) {
 		{fmt.Sprintf("RRN-R%d", spec.Radix()), nil, nil, rrn},
 	}
 	type outcome struct{ acc, lat float64 }
-	results, err := engine.Run(len(rows)*opts.Reps, opts.Workers, func(i int) (outcome, error) {
+	results, err := engine.RunShard(len(rows)*opts.Reps, opts.Workers, opts.Shard, func(i int) (outcome, error) {
 		row, repIdx := rows[i/opts.Reps], i%opts.Reps
 		stream := rng.At(opts.Seed, rng.StringCoord("adversarial/"+row.name), uint64(repIdx))
 		if row.rrn != nil {
@@ -279,13 +282,16 @@ func Adversarial(opts AdversarialOptions) (*Report, error) {
 		return nil, err
 	}
 	for ri, row := range rows {
-		var acc, lat metrics.Summary
+		var accObs, latObs []metrics.Obs
 		for r := 0; r < opts.Reps; r++ {
-			o := results[ri*opts.Reps+r]
-			acc.Add(o.acc)
-			lat.Add(o.lat)
+			i := ri*opts.Reps + r
+			if opts.Shard.Owns(i) {
+				accObs = append(accObs, metrics.Obs{Job: i, V: results[i].acc})
+				latObs = append(latObs, metrics.Obs{Job: i, V: results[i].lat})
+			}
 		}
-		rep.AddRow(row.name, fmt.Sprintf("%.4f", acc.Mean()), fmt.Sprintf("%.1f", lat.Mean()))
+		rep.AddKeyed(row.name, Str(row.name),
+			Mean(accObs, opts.Reps, "%.4f"), Mean(latObs, opts.Reps, "%.1f"))
 	}
 	return rep, nil
 }

@@ -16,7 +16,7 @@ func TestStructureReport(t *testing.T) {
 		t.Fatalf("rows = %d", len(rep.Rows))
 	}
 	byName := map[string][]string{}
-	for _, row := range rep.Rows {
+	for _, row := range rep.Strings() {
 		byName[row[0]] = row
 	}
 	for _, name := range []string{"CFT", "RFC", "RRN"} {
@@ -52,7 +52,7 @@ func TestAdversarialReport(t *testing.T) {
 	if len(rep.Rows) != 3 {
 		t.Fatalf("rows = %d, want 3 (CFT, RFC, RRN)", len(rep.Rows))
 	}
-	for _, row := range rep.Rows {
+	for _, row := range rep.Strings() {
 		acc := atofOrZero(row[1])
 		// The rearrangeably non-blocking CFT routes a permutation at high
 		// rate; the RFC sustains a large fraction too (§4.2's normalized
@@ -87,7 +87,7 @@ func TestTablesReport(t *testing.T) {
 		t.Errorf("missing networks in:\n%s", text)
 	}
 	// The router's bitset state must be far smaller than explicit tables.
-	for _, row := range rep.Rows[:2] {
+	for _, row := range rep.Strings()[:2] {
 		explicit, bitset := atofOrZero(row[4]), atofOrZero(row[5])
 		if bitset <= 0 || explicit <= 0 {
 			t.Errorf("%s: missing size accounting", row[0])
@@ -110,7 +110,7 @@ func TestJellyfishReport(t *testing.T) {
 	if len(rep.Rows) != 3 {
 		t.Fatalf("rows = %d, want 3", len(rep.Rows))
 	}
-	for _, row := range rep.Rows {
+	for _, row := range rep.Strings() {
 		acc := atofOrZero(row[2])
 		if acc < 0.3 || acc > 0.45 {
 			t.Errorf("%s at 0.4 offered accepted %v", row[0], acc)

@@ -32,6 +32,10 @@ type SimOptions struct {
 	// Workers is the worker-pool size for the (load × rep × pattern ×
 	// network) job grid; 0 means one worker per CPU (engine.Workers).
 	Workers int
+	// Shard restricts execution to the jobs this process owns (see
+	// engine.Shard); the zero value runs the whole grid. Sharded runs emit
+	// partial aggregates that MergeReports combines byte-identically.
+	Shard engine.Shard
 	// Progress, when non-nil, receives one line per completed job. It is
 	// called from worker goroutines, so it must be safe for concurrent use
 	// when Workers != 1 (engine.Progress builds a safe, counting sink).
@@ -105,10 +109,11 @@ func (j simJob) run(opts SimOptions) (simPoint, error) {
 	return simPoint{lat: res.AvgLatency, thr: res.AcceptedLoad}, nil
 }
 
-// runSimJobs fans a job grid out over the worker pool and returns the
-// per-job results in job order.
+// runSimJobs fans the owned slice of a job grid out over the worker pool
+// and returns per-job results in job order (zero-valued where another shard
+// owns the job).
 func runSimJobs(jobs []simJob, opts SimOptions) ([]simPoint, error) {
-	return engine.Run(len(jobs), opts.Workers, func(i int) (simPoint, error) {
+	return engine.RunShard(len(jobs), opts.Workers, opts.Shard, func(i int) (simPoint, error) {
 		return jobs[i].run(opts)
 	})
 }
@@ -198,25 +203,31 @@ func ScenarioSweep(sc Scenario, opts SimOptions) (*Report, error) {
 
 	// Merge per-job results into one latency and one throughput collector
 	// per (network, pattern) group. Jobs are grid-ordered, so group g owns
-	// the contiguous block of len(Loads)*Reps jobs starting at g*per.
+	// the contiguous block of len(Loads)*Reps jobs starting at g*per. Every
+	// job is Expected (fixing row structure and completeness counts) but
+	// only jobs this shard owns contribute observations.
 	per := len(opts.Loads) * opts.Reps
 	groups := len(nets) * len(opts.Patterns)
-	latC := make([]metrics.Collector, groups)
-	thrC := make([]metrics.Collector, groups)
-	for i, p := range points {
-		g := i / per
-		latC[g].Add(jobs[i].load, p.lat)
-		thrC[g].Add(jobs[i].load, p.thr)
-	}
-	var series []metrics.Series
+	var sset seriesSet
+	type groupCols struct{ thr, lat *metrics.JobCollector }
+	cols := make([]groupCols, groups)
 	for g := 0; g < groups; g++ {
 		name := jobs[g*per].net + "/" + jobs[g*per].pattern
-		series = append(series, thrC[g].Series(name+"/throughput"), latC[g].Series(name+"/latency"))
+		cols[g] = groupCols{thr: sset.col(name + "/throughput"), lat: sset.col(name + "/latency")}
+	}
+	for i := range jobs {
+		g := i / per
+		cols[g].thr.Expect(jobs[i].load)
+		cols[g].lat.Expect(jobs[i].load)
+		if opts.Shard.Owns(i) {
+			cols[g].thr.Observe(jobs[i].load, i, points[i].thr)
+			cols[g].lat.Observe(jobs[i].load, i, points[i].lat)
+		}
 	}
 	notes := []string{
 		fmt.Sprintf("scenario %s: CFT T=%d, RFC T=%d", sc.Name, sc.CFT.Terminals(), sc.RFC.Terminals()),
 		"throughput in accepted phits/node/cycle; latency in cycles (generation to tail delivery)",
 	}
-	return seriesReport("Figures 8-10: latency & throughput, scenario "+sc.Name,
-		notes, "offered load", "value", series), nil
+	return sset.report("Figures 8-10: latency & throughput, scenario "+sc.Name,
+		notes, "offered load", "value"), nil
 }

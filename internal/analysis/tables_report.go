@@ -38,16 +38,16 @@ func TablesReport(scale Scale, kPaths int, seed uint64) (*Report, error) {
 	}
 	cud := routing.New(cft)
 	cst := cud.Stats(cud.BuildTables())
-	rep.AddRow(fmt.Sprintf("CFT-R%d", sc.CFT.Radix), itoa(cst.Switches), itoa(cst.TotalEntries),
-		itoa(cst.TotalPortRefs), itoa(cst.ApproxBytes), itoa(cst.CoverBytes))
+	rep.AddRow(Str(fmt.Sprintf("CFT-R%d", sc.CFT.Radix)), Int(cst.Switches), Int(cst.TotalEntries),
+		Int(cst.TotalPortRefs), Int(cst.ApproxBytes), Int(cst.CoverBytes))
 
 	_, rud, err := buildRoutableRFC(sc.RFC, r)
 	if err != nil {
 		return nil, err
 	}
 	rst := rud.Stats(rud.BuildTables())
-	rep.AddRow(fmt.Sprintf("RFC-R%d", sc.RFC.Radix), itoa(rst.Switches), itoa(rst.TotalEntries),
-		itoa(rst.TotalPortRefs), itoa(rst.ApproxBytes), itoa(rst.CoverBytes))
+	rep.AddRow(Str(fmt.Sprintf("RFC-R%d", sc.RFC.Radix)), Int(rst.Switches), Int(rst.TotalEntries),
+		Int(rst.TotalPortRefs), Int(rst.ApproxBytes), Int(rst.CoverBytes))
 
 	// RRN estimate: size an RRN for the same terminal count, sample pairs
 	// to get the average k-shortest path length, extrapolate state size.
@@ -75,7 +75,7 @@ func TablesReport(scale Scale, kPaths int, seed uint64) (*Report, error) {
 	}
 	pairs := rrn.N() * (rrn.N() - 1)
 	totalRefs := int(float64(pairs*kPaths) * avgHops)
-	rep.AddRow(fmt.Sprintf("RRN-R%d (k=%d est.)", spec.Radix(), kPaths),
-		itoa(rrn.N()), itoa(pairs*kPaths), itoa(totalRefs), itoa(totalRefs+2*pairs*kPaths), "-")
+	rep.AddRow(Str(fmt.Sprintf("RRN-R%d (k=%d est.)", spec.Radix(), kPaths)),
+		Int(rrn.N()), Int(pairs*kPaths), Int(totalRefs), Int(totalRefs+2*pairs*kPaths), Str("-"))
 	return rep, nil
 }

@@ -1,0 +1,95 @@
+package engine
+
+import "fmt"
+
+// Shard identifies one of N cooperating processes splitting a job grid.
+// Because every job derives its randomness from its own coordinates (the
+// package-level determinism contract), the jobs a shard claims produce
+// exactly the bytes the same jobs produce in an unsharded run, so partial
+// results from different shards — even from different machines — merge into
+// output byte-identical to a single-process sweep.
+//
+// The zero value (N == 0) and N == 1 both mean "unsharded": the shard owns
+// every job.
+type Shard struct {
+	// K is the shard index, 0 <= K < N.
+	K int
+	// N is the total number of shards; values < 2 disable sharding.
+	N int
+}
+
+// Enabled reports whether the shard actually splits work (N >= 2).
+func (s Shard) Enabled() bool { return s.N >= 2 }
+
+// Owns reports whether job index i belongs to this shard. Jobs are claimed
+// round-robin (i mod N == K) so every partition {0/N, 1/N, ..., (N-1)/N}
+// covers each job exactly once and shards get near-equal slices of every
+// grid regardless of its shape.
+func (s Shard) Owns(i int) bool {
+	if !s.Enabled() {
+		return true
+	}
+	return i%s.N == s.K
+}
+
+// Validate checks the invariant 0 <= K < N (or the unsharded zero value).
+func (s Shard) Validate() error {
+	if s.N == 0 && s.K == 0 {
+		return nil
+	}
+	if s.N < 1 || s.K < 0 || s.K >= s.N {
+		return fmt.Errorf("engine: invalid shard %d/%d", s.K, s.N)
+	}
+	return nil
+}
+
+// String renders the shard as "k/n" ("" when unsharded).
+func (s Shard) String() string {
+	if !s.Enabled() {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d", s.K, s.N)
+}
+
+// ParseShard parses the CLI form "k/n" (e.g. "0/2"). An empty string means
+// unsharded.
+func ParseShard(s string) (Shard, error) {
+	if s == "" {
+		return Shard{}, nil
+	}
+	var sh Shard
+	if _, err := fmt.Sscanf(s, "%d/%d", &sh.K, &sh.N); err != nil {
+		return Shard{}, fmt.Errorf("engine: shard %q not of the form k/n", s)
+	}
+	if err := sh.Validate(); err != nil {
+		return Shard{}, err
+	}
+	return sh, nil
+}
+
+// RunShard is Run restricted to the jobs the shard owns: fn runs only for
+// owned indices (on up to `workers` goroutines), and the returned slice
+// still has one slot per job, with unowned slots left at the zero value.
+// Callers use s.Owns to tell a computed zero from a skipped job.
+func RunShard[T any](jobs, workers int, s Shard, fn func(job int) (T, error)) ([]T, error) {
+	if !s.Enabled() {
+		return Run(jobs, workers, fn)
+	}
+	if jobs <= 0 {
+		return nil, nil
+	}
+	owned := make([]int, 0, jobs/s.N+1)
+	for i := 0; i < jobs; i++ {
+		if s.Owns(i) {
+			owned = append(owned, i)
+		}
+	}
+	results := make([]T, jobs)
+	sub, err := Run(len(owned), workers, func(j int) (T, error) {
+		return fn(owned[j])
+	})
+	for j, i := range owned {
+		results[i] = sub[j]
+	}
+	return results, err
+}

@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestShardOwnsPartition(t *testing.T) {
+	const jobs = 97
+	for n := 1; n <= 5; n++ {
+		owners := make([]int, jobs)
+		for k := 0; k < n; k++ {
+			sh := Shard{K: k, N: n}
+			for i := 0; i < jobs; i++ {
+				if sh.Owns(i) {
+					owners[i]++
+				}
+			}
+		}
+		for i, c := range owners {
+			if c != 1 {
+				t.Fatalf("n=%d: job %d owned by %d shards, want exactly 1", n, i, c)
+			}
+		}
+	}
+	var unsharded Shard
+	for i := 0; i < 5; i++ {
+		if !unsharded.Owns(i) {
+			t.Errorf("zero-value shard must own every job, missed %d", i)
+		}
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Shard
+		ok   bool
+	}{
+		{"", Shard{}, true},
+		{"0/2", Shard{0, 2}, true},
+		{"2/3", Shard{2, 3}, true},
+		{"0/1", Shard{0, 1}, true},
+		{"3/3", Shard{}, false},
+		{"-1/2", Shard{}, false},
+		{"1", Shard{}, false},
+		{"a/b", Shard{}, false},
+	} {
+		got, err := ParseShard(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ParseShard(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseShard(%q) accepted, want error", tc.in)
+		}
+	}
+	if got := (Shard{1, 4}).String(); got != "1/4" {
+		t.Errorf("String() = %q, want 1/4", got)
+	}
+	if got := (Shard{}).String(); got != "" {
+		t.Errorf("zero String() = %q, want empty", got)
+	}
+}
+
+func TestRunShardCoversEveryJobOnce(t *testing.T) {
+	const jobs = 23
+	full, err := RunShard(jobs, 4, Shard{}, func(i int) (int, error) { return i + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 2; n <= 3; n++ {
+		merged := make([]int, jobs)
+		for k := 0; k < n; k++ {
+			sh := Shard{K: k, N: n}
+			part, err := RunShard(jobs, 4, sh, func(i int) (int, error) { return i + 1, nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range part {
+				if sh.Owns(i) {
+					if v != i+1 {
+						t.Fatalf("shard %d/%d job %d = %d, want %d", k, n, i, v, i+1)
+					}
+					merged[i] = v
+				} else if v != 0 {
+					t.Fatalf("shard %d/%d filled unowned job %d with %d", k, n, i, v)
+				}
+			}
+		}
+		for i := range merged {
+			if merged[i] != full[i] {
+				t.Fatalf("n=%d: merged[%d] = %d, unsharded %d", n, i, merged[i], full[i])
+			}
+		}
+	}
+}
+
+func TestRunShardOnlyRunsOwnedJobs(t *testing.T) {
+	sh := Shard{K: 1, N: 3}
+	_, err := RunShard(9, 1, sh, func(i int) (string, error) {
+		if !sh.Owns(i) {
+			return "", fmt.Errorf("ran unowned job %d", i)
+		}
+		return "x", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package exhibit
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden files under testdata/golden were captured from the pre-registry
+// CLI (string-rendered reports, if/else dispatch) at the parameters below.
+// They pin the byte-compatibility contract of the whole refactor: typed
+// cells, the registry dispatch and shard-aware aggregation must reproduce
+// the old output exactly.
+
+// goldenParams returns the capture parameters for one exhibit (all were
+// captured with -seed 7 -quiet).
+func goldenParams(id string) Params {
+	p := Params{Scale: "small", Seed: 7} // the CLI's flag defaults
+	switch id {
+	case "thm42":
+		p.Trials = 6
+	case "table3":
+		p.Trials = 2
+	case "fig11":
+		p.Trials = 1
+	case "fig8", "fig9", "fig10":
+		p.Cycles, p.Reps = 400, 2
+		p.Loads = []float64{0.3, 0.8}
+		p.Patterns = []string{"uniform"}
+	case "fig12", "ablation", "adversarial", "rrnfaults":
+		p.Cycles, p.Reps = 400, 2
+	case "jellyfish":
+		p.Cycles, p.Reps = 400, 2
+		p.Loads = []float64{0.3, 0.8}
+	}
+	return p
+}
+
+// slowGolden marks the exhibits worth skipping under -short.
+var slowGolden = map[string]bool{"fig10": true, "fig12": true, "rrnfaults": true}
+
+func readGolden(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "golden", name+".txt"))
+	if err != nil {
+		t.Fatalf("missing golden file: %v", err)
+	}
+	return string(data)
+}
+
+func TestGoldenOutputs(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			if testing.Short() && slowGolden[e.ID] {
+				t.Skip("slow exhibit skipped under -short")
+			}
+			rep, err := e.Run(goldenParams(e.ID))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The CLI prints Format() through Println, hence the newline.
+			got := rep.Format() + "\n"
+			if want := readGolden(t, e.ID); got != want {
+				t.Errorf("%s output differs from pre-registry golden\n--- got ---\n%s--- want ---\n%s", e.ID, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenAll replays "-exhibit all -trials 2 -cycles 300 -reps 1
+// -loads 0.5 -patterns uniform": the registry's iteration order and every
+// exhibit's wiring, concatenated exactly as the CLI prints them.
+func TestGoldenAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full -exhibit all replay skipped under -short")
+	}
+	var got string
+	for _, e := range All() {
+		rep, err := e.Run(Params{
+			Scale: "small", Seed: 7, Trials: 2, Cycles: 300, Reps: 1,
+			Loads: []float64{0.5}, Patterns: []string{"uniform"},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		got += rep.Format() + "\n"
+	}
+	if want := readGolden(t, "all"); got != want {
+		t.Errorf("-exhibit all output differs from pre-registry golden (%d vs %d bytes)", len(got), len(want))
+	}
+}

@@ -5,7 +5,10 @@
 #     and once with -workers <nproc>, checking the two reports are
 #     byte-identical (times, speedup, core count), and
 #   - unified cycle engine: simcore packet throughput in simulated
-#     cycles/sec (BenchmarkEngineCycles).
+#     cycles/sec (BenchmarkEngineCycles), and
+#   - shard merging: the same Figure 8 sweep split -shard 0/2 + 1/2,
+#     merged with rfcmerge, checked byte-identical to the unsharded
+#     report, with the merge throughput (MB/s of partial JSON) recorded.
 #
 # Usage: scripts/bench.sh [reps] [cycles]
 set -eu
@@ -35,7 +38,28 @@ if ! cmp -s "$out1" "$outN"; then
 	echo "bench.sh: FATAL: workers=1 and workers=$cores reports differ" >&2
 	exit 1
 fi
-rm -f "$out1" "$outN"
+
+# Shard-merge throughput: split the same sweep 2 ways, merge the partial
+# JSON reports, and require the merged text to match the unsharded run.
+merge_bin=$(dirname "$bin")/rfcmerge
+go build -o "$merge_bin" ./cmd/rfcmerge
+parts=$(mktemp -d)
+"$bin" -exhibit fig8 -scale small -reps "$reps" -cycles "$cycles" \
+	-shard 0/2 -out "$parts" -quiet
+"$bin" -exhibit fig8 -scale small -reps "$reps" -cycles "$cycles" \
+	-shard 1/2 -out "$parts" -quiet
+part_bytes=$(cat "$parts"/fig8.shard*.json | wc -c)
+merged=$(mktemp)
+t0=$(now)
+"$merge_bin" -quiet "$parts"/fig8.shard0-of-2.json "$parts"/fig8.shard1-of-2.json >"$merged"
+t1=$(now)
+merge_s=$(awk "BEGIN{printf \"%.4f\", $t1 - $t0}")
+merge_mbps=$(awk "BEGIN{printf \"%.1f\", $part_bytes / 1e6 / $merge_s}")
+if ! cmp -s "$out1" "$merged"; then
+	echo "bench.sh: FATAL: merged sharded report differs from unsharded run" >&2
+	exit 1
+fi
+rm -rf "$parts" "$merged" "$out1" "$outN"
 
 speedup=$(awk "BEGIN{printf \"%.2f\", $serial / $parallel}")
 date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
@@ -64,6 +88,8 @@ append_point() { # $1 = JSON object line
 
 append_point "  {\"date\": \"$date\", \"exhibit\": \"fig8\", \"reps\": $reps, \"cycles\": $cycles, \"cores\": $cores, \"serial_s\": $serial, \"parallel_s\": $parallel, \"speedup\": $speedup}"
 append_point "  {\"date\": \"$date\", \"benchmark\": \"simcore-engine\", \"cycles_per_sec\": $cps}"
+append_point "  {\"date\": \"$date\", \"benchmark\": \"rfcmerge\", \"exhibit\": \"fig8\", \"shards\": 2, \"input_bytes\": $part_bytes, \"merge_s\": $merge_s, \"mb_per_sec\": $merge_mbps}"
 
 echo "fig8 x$reps reps @ $cycles cycles: serial ${serial}s, parallel(${cores}) ${parallel}s, speedup ${speedup}x"
 echo "simcore engine: $cps simulated cycles/sec"
+echo "rfcmerge: 2 shards, $part_bytes bytes in ${merge_s}s (${merge_mbps} MB/s), byte-identical to unsharded"
