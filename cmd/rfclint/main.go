@@ -1,0 +1,90 @@
+// Command rfclint is the repository's determinism linter: it statically
+// enforces the invariants every exhibit's byte-identical reproducibility
+// rests on. Deterministic packages must draw randomness only from
+// internal/rng streams derived from seeds and job coordinates — never from
+// the wall clock, math/rand, Go's randomized map iteration order, or
+// order-dependent stream splitting inside parallel workers.
+//
+// Usage:
+//
+//	rfclint [-rules] [packages]
+//
+// Packages are directories relative to the current module; a trailing
+// "/..." walks recursively (default "./..."). Findings print one per line
+// as file:line:col: rule: message, and any finding makes the exit status
+// non-zero, so CI can gate on it. A finding is silenced by a
+// `//rfclint:allow <rule>` comment on the offending line or the line above
+// it; see the "Determinism invariants" section of DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rfclos/internal/lint"
+)
+
+func main() {
+	rules := flag.Bool("rules", false, "list the lint rules and exit")
+	quiet := flag.Bool("quiet", false, "suppress the all-clear summary line")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: rfclint [flags] [packages]\n\npackages default to ./... (the whole module)\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *rules {
+		for _, r := range lint.Rules() {
+			fmt.Printf("%-20s %s\n", r.Name, r.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	ld, err := lint.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := lint.Expand(cwd, patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	findings, err := lint.Run(lint.DefaultConfig(ld.Module), ld, dirs)
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range findings {
+		// Report paths relative to the working directory, like go vet.
+		if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil {
+			f.Pos.Filename = rel
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Printf("rfclint: %d packages clean\n", len(dirs))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rfclint:", err)
+	os.Exit(2)
+}

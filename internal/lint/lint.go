@@ -1,0 +1,190 @@
+// Package lint is rfclint's engine: a small, stdlib-only static analyzer
+// that enforces this repository's determinism invariants. Every exhibit —
+// the Theorem 4.2 trials, the Figure 8-12 sweeps, Table 3, and the
+// byte-identical shard merges — relies on deterministic packages drawing
+// randomness only from coordinate-derived rng streams, never from wall-clock
+// time, Go's randomized map iteration order, or order-dependent stream
+// splitting inside parallel workers. The rules here turn that convention
+// into a build gate.
+//
+// The analyzer loads packages with go/parser and type-checks them with
+// go/types through a hybrid importer (module packages from source, standard
+// library via go/importer's source mode), so it needs nothing outside the
+// standard library and the checked-out tree.
+//
+// Findings can be suppressed per line with a `//rfclint:allow <rule>`
+// comment on the offending line or the line directly above it; see
+// suppress.go.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Config selects which packages the determinism rules apply to. Paths are
+// full import paths; DefaultConfig derives the repository's set from the
+// module path.
+type Config struct {
+	// Deterministic lists the import paths whose packages must obey the
+	// determinism invariants (exact match, one entry per package).
+	Deterministic []string
+
+	// AllowFiles lists slash-separated file-path suffixes exempt from the
+	// nondet-source rule (e.g. "internal/engine/progress.go", whose
+	// wall-clock reads feed human-facing progress lines, never results).
+	AllowFiles []string
+
+	// RngPkg is the import path of the coordinate-seeded rng package.
+	RngPkg string
+
+	// EnginePkg is the import path of the parallel worker-pool package whose
+	// Run/RunShard closures must not touch parent rng streams.
+	EnginePkg string
+}
+
+// DefaultConfig returns the repository configuration for a module rooted at
+// the given module path: every package that feeds exhibit bytes is
+// deterministic; cmd/ and examples/ are free to read clocks and flags.
+func DefaultConfig(module string) *Config {
+	rel := []string{
+		"", // the facade package at the module root
+		"internal/analysis",
+		"internal/core",
+		"internal/engine",
+		"internal/exhibit",
+		"internal/gf",
+		"internal/graph",
+		"internal/metrics",
+		"internal/rng",
+		"internal/routing",
+		"internal/simcore",
+		"internal/simcore/goldencases",
+		"internal/simdirect",
+		"internal/simnet",
+		"internal/topology",
+		"internal/traffic",
+	}
+	det := make([]string, len(rel))
+	for i, r := range rel {
+		if r == "" {
+			det[i] = module
+		} else {
+			det[i] = module + "/" + r
+		}
+	}
+	return &Config{
+		Deterministic: det,
+		AllowFiles:    []string{"internal/engine/progress.go"},
+		RngPkg:        module + "/internal/rng",
+		EnginePkg:     module + "/internal/engine",
+	}
+}
+
+// IsDeterministic reports whether the import path is subject to the
+// determinism rules.
+func (c *Config) IsDeterministic(path string) bool {
+	for _, p := range c.Deterministic {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+// fileAllowed reports whether filename (as recorded in the fileset) is
+// exempt from nondet-source via Config.AllowFiles.
+func (c *Config) fileAllowed(filename string) bool {
+	f := strings.ReplaceAll(filename, "\\", "/")
+	for _, suf := range c.AllowFiles {
+		if strings.HasSuffix(f, suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// Finding is one diagnostic: a rule violation at a position.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+}
+
+// Rule is one named check over a type-checked package.
+type Rule struct {
+	Name string
+	Doc  string
+	// Check returns the rule's findings for pkg (suppression is applied by
+	// the driver, not the rule).
+	Check func(cfg *Config, pkg *Package) []Finding
+}
+
+// Rules returns every rule in a stable order.
+func Rules() []Rule {
+	return []Rule{
+		{
+			Name:  "nondet-source",
+			Doc:   "deterministic packages must not import math/rand or crypto/rand, or call time.Now/time.Since",
+			Check: checkNondetSource,
+		},
+		{
+			Name:  "map-range-order",
+			Doc:   "ranging over a map with order-sensitive effects (append, rng draws, report/observation writes) in the body",
+			Check: checkMapRangeOrder,
+		},
+		{
+			Name:  "split-in-parallel",
+			Doc:   "rng.Split or a captured parent rng stream inside a worker closure passed to engine.Run/RunShard; derive streams from job coordinates instead",
+			Check: checkSplitInParallel,
+		},
+		{
+			Name:  "seed-coord-literal",
+			Doc:   "the same string literal passed to rng.StringCoord at two call sites in one package: the \"independent\" streams are identical",
+			Check: checkSeedCoordLiteral,
+		},
+	}
+}
+
+// Run loads every package directory in dirs (see Loader) and applies all
+// rules, returning the unsuppressed findings sorted by position. A load or
+// type-check failure is an error: the linter refuses to bless a tree it
+// could not fully analyze.
+func Run(cfg *Config, ld *Loader, dirs []string) ([]Finding, error) {
+	var all []Finding
+	for _, dir := range dirs {
+		pkg, err := ld.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		allow := allowIndex(pkg)
+		for _, rule := range Rules() {
+			for _, f := range rule.Check(cfg, pkg) {
+				if !allow.suppressed(f) {
+					all = append(all, f)
+				}
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return all, nil
+}

@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// map-range-order: Go randomizes map iteration order, so a `for range` over
+// a map whose body has order-sensitive effects makes output bytes (or rng
+// stream consumption) differ between runs. The rule flags such loops in
+// deterministic packages; the fix is to extract the keys, sort them, and
+// iterate the sorted slice. Loops whose bodies only do order-insensitive
+// work (counting, max/min, keyed writes into another map) are fine and not
+// flagged.
+//
+// Order-sensitive effects recognized in the loop body:
+//   - append to a slice (element order then depends on map order),
+//   - any call into the rng package or on one of its generators (stream
+//     consumption order would vary),
+//   - report/observation writes: mutating methods like Add/Observe/Expect
+//     and stream writes like Write/Fprintf (emitted bytes would vary).
+//
+// One idiom is exempt: a loop whose only effect is appending to a single
+// local slice that a later statement in the same block passes to sort or
+// slices — that is precisely the sorted-key-extraction fix, whose result
+// does not depend on iteration order.
+
+// orderSensitiveMethods are mutating method names whose call order changes
+// accumulated results or emitted bytes.
+var orderSensitiveMethods = map[string]string{
+	"Add":         "report/observation write",
+	"AddKeyed":    "report/observation write",
+	"AddRow":      "report/observation write",
+	"Observe":     "report/observation write",
+	"Expect":      "report/observation write",
+	"Note":        "report/observation write",
+	"Write":       "stream write",
+	"WriteString": "stream write",
+	"WriteByte":   "stream write",
+	"WriteRune":   "stream write",
+}
+
+// orderSensitiveFmtFuncs are fmt functions that emit to a stream.
+var orderSensitiveFmtFuncs = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func checkMapRangeOrder(cfg *Config, pkg *Package) []Finding {
+	if !cfg.IsDeterministic(pkg.Path) {
+		return nil
+	}
+	var out []Finding
+	pkg.inspectFiles(func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		for i, stmt := range list {
+			rs, ok := stmt.(*ast.RangeStmt)
+			if !ok {
+				continue
+			}
+			t := pkg.Info.TypeOf(rs.X)
+			if t == nil {
+				continue
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				continue
+			}
+			effect, appendTo := orderSensitiveEffect(cfg, pkg, rs.Body)
+			if effect == "" {
+				continue
+			}
+			if appendTo != nil && sortedLater(pkg, list[i+1:], appendTo) {
+				continue
+			}
+			out = append(out, pkg.finding(rs.Pos(), "map-range-order",
+				"range over map has order-sensitive effect ("+effect+
+					"); iterate sorted keys instead"))
+		}
+		return true
+	})
+	return out
+}
+
+// orderSensitiveEffect scans a map-range body for order-sensitive effects.
+// It returns the first effect's description ("" if none) and, when every
+// effect is an append to one and the same identifier, that identifier's
+// object — the candidate for the sorted-later exemption.
+func orderSensitiveEffect(cfg *Config, pkg *Package, body *ast.BlockStmt) (string, types.Object) {
+	effect := ""
+	var appendTo types.Object
+	exemptable := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isBuiltin(pkg.Info, call, "append") {
+			if effect == "" {
+				effect = "append"
+			}
+			var target types.Object
+			if len(call.Args) > 0 {
+				if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+					target = pkg.Info.Uses[id]
+				}
+			}
+			if target == nil || (appendTo != nil && appendTo != target) {
+				exemptable = false
+			} else {
+				appendTo = target
+			}
+			return true
+		}
+		obj := calleeObj(pkg.Info, call)
+		if objInPkg(obj, cfg.RngPkg) {
+			effect, exemptable = "rng draw", false
+			return false
+		}
+		if f, ok := obj.(*types.Func); ok {
+			if f.Type().(*types.Signature).Recv() != nil {
+				if kind, bad := orderSensitiveMethods[f.Name()]; bad {
+					effect, exemptable = kind+" "+f.Name(), false
+					return false
+				}
+			} else if objInPkg(f, "fmt") && orderSensitiveFmtFuncs[f.Name()] {
+				effect, exemptable = "stream write fmt."+f.Name(), false
+				return false
+			}
+		}
+		return true
+	})
+	if !exemptable {
+		appendTo = nil
+	}
+	return effect, appendTo
+}
+
+// sortedLater reports whether a later statement in the same block passes
+// the appended slice to the sort or slices package — the sorted-key
+// extraction idiom, whose result is independent of map iteration order.
+func sortedLater(pkg *Package, rest []ast.Stmt, target types.Object) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			obj := calleeObj(pkg.Info, call)
+			if !objInPkg(obj, "sort") && !objInPkg(obj, "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && pkg.Info.Uses[id] == target {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

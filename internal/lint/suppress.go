@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Suppression: a finding is silenced by a comment of the form
+//
+//	//rfclint:allow <rule>[,<rule>...] [-- reason]
+//
+// placed either on the offending line itself (trailing comment) or on the
+// line directly above it. The special rule name "all" silences every rule.
+// Annotations are deliberate, auditable exceptions — greppable, and scoped
+// to a single line so a suppression cannot hide a second, later violation.
+
+const allowPrefix = "rfclint:allow"
+
+// allowSet maps "filename:line" to the set of rule names allowed there.
+type allowSet map[string]map[string]bool
+
+// allowIndex scans every comment in the package and indexes the
+// rfclint:allow annotations by file and line.
+func allowIndex(pkg *Package) allowSet {
+	idx := allowSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+				rest, ok := strings.CutPrefix(text, allowPrefix)
+				if !ok {
+					continue
+				}
+				// Strip an optional trailing "-- reason" note.
+				if i := strings.Index(rest, "--"); i >= 0 {
+					rest = rest[:i]
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := posKey(pos.Filename, pos.Line)
+				rules := idx[key]
+				if rules == nil {
+					rules = map[string]bool{}
+					idx[key] = rules
+				}
+				for _, name := range strings.FieldsFunc(rest, func(r rune) bool {
+					return r == ',' || r == ' ' || r == '\t'
+				}) {
+					rules[name] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func posKey(file string, line int) string {
+	return file + ":" + strconv.Itoa(line)
+}
+
+// suppressed reports whether an allow annotation on the finding's line or
+// the line above it covers the finding's rule.
+func (s allowSet) suppressed(f Finding) bool {
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		if rules, ok := s[posKey(f.Pos.Filename, line)]; ok {
+			if rules[f.Rule] || rules["all"] {
+				return true
+			}
+		}
+	}
+	return false
+}

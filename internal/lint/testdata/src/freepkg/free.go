@@ -1,0 +1,21 @@
+// Package freepkg is NOT on the deterministic list (like cmd/ packages),
+// so none of the determinism rules fire here despite the wall-clock read,
+// math/rand import, and unsorted map collection.
+package freepkg
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() time.Time { return time.Now() }
+
+func draw() int { return rand.Int() }
+
+func collect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

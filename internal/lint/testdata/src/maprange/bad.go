@@ -1,0 +1,49 @@
+// Package maprange exercises the map-range-order rule: ranging over maps
+// with order-sensitive loop bodies.
+package maprange
+
+import (
+	"fmt"
+	"strings"
+
+	"rfclos/internal/rng"
+)
+
+// collectUnsorted appends in map order and never sorts: the slice order
+// differs between runs.
+func collectUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { //lintwant:map-range-order
+		out = append(out, k)
+	}
+	return out
+}
+
+// drawPerEntry consumes rng draws in map order: the stream position after
+// the loop differs between runs.
+func drawPerEntry(m map[string]int, r *rng.Rand) int {
+	total := 0
+	for range m { //lintwant:map-range-order
+		total += r.Intn(10)
+	}
+	return total
+}
+
+// renderUnsorted emits bytes in map order.
+func renderUnsorted(m map[string]int, b *strings.Builder) {
+	for k, v := range m { //lintwant:map-range-order
+		fmt.Fprintf(b, "%s=%d\n", k, v)
+	}
+}
+
+// appendTwoTargets appends to two different slices, so the sorted-later
+// exemption cannot apply even though one of them is sorted afterwards.
+func appendTwoTargets(m map[string]int) ([]string, []int) {
+	var ks []string
+	var vs []int
+	for k, v := range m { //lintwant:map-range-order
+		ks = append(ks, k)
+		vs = append(vs, v)
+	}
+	return ks, vs
+}

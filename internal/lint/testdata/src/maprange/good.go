@@ -1,0 +1,41 @@
+package maprange
+
+import "sort"
+
+// sumValues is order-insensitive: addition commutes.
+func sumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sortedKeys is the canonical fix the rule recommends — the append feeds a
+// sort in the same block, so the result is independent of iteration order.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// invert writes keyed entries into another map: order-insensitive.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// sliceAppend ranges over a slice, not a map: ordered, nothing to flag.
+func sliceAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}

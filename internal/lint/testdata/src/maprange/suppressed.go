@@ -1,0 +1,12 @@
+package maprange
+
+// collectForSet appends in map order on purpose: the caller treats the
+// result as an unordered set, so the annotation documents the exception.
+func collectForSet(m map[string]int) []string {
+	var out []string
+	//rfclint:allow map-range-order -- result is an unordered set
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,7 @@
+package nondet
+
+import "time"
+
+// This whole file is on the test Config's AllowFiles list (the
+// progress-reporting exemption), so its wall-clock read is not flagged.
+func progressStamp() time.Time { return time.Now() }

@@ -1,0 +1,13 @@
+package nondet
+
+import "rfclos/internal/rng"
+
+// drawGood is the sanctioned pattern: a stream derived from a seed and
+// coordinates.
+func drawGood(seed uint64) int {
+	return rng.At(seed, rng.StringCoord("nondet/good")).Intn(100)
+}
+
+// durationGood shows that using the time package for durations (no clock
+// read) is fine.
+func durationGood(cycles int) int { return cycles * 2 }

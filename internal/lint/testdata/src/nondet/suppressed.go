@@ -1,0 +1,15 @@
+package nondet
+
+import "time"
+
+// clockAllowed shows the escape hatch: an annotated wall-clock read (the
+// justification travels with the suppression).
+func clockAllowed() time.Time {
+	return time.Now() //rfclint:allow nondet-source -- log-only timestamp
+}
+
+// clockAllowedAbove shows the annotation on the line above the finding.
+func clockAllowedAbove() time.Time {
+	//rfclint:allow nondet-source
+	return time.Now()
+}

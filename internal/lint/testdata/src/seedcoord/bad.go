@@ -1,0 +1,15 @@
+// Package seedcoord exercises the seed-coord-literal rule: duplicated
+// string coordinates that make "independent" streams identical.
+package seedcoord
+
+import "rfclos/internal/rng"
+
+// topoStream and trafficStream were meant to be independent but share the
+// coordinate "dup/stream" — they draw identical values.
+func topoStream(seed uint64) uint64 {
+	return rng.DeriveSeed(seed, rng.StringCoord("dup/stream"))
+}
+
+func trafficStream(seed uint64) uint64 {
+	return rng.DeriveSeed(seed, rng.StringCoord("dup/stream")) //lintwant:seed-coord-literal
+}

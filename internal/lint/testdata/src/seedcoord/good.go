@@ -1,0 +1,20 @@
+package seedcoord
+
+import "rfclos/internal/rng"
+
+// Distinct labels, distinct streams: the repository's slash-scoped naming
+// convention.
+func genStream(seed uint64) uint64 {
+	return rng.DeriveSeed(seed, rng.StringCoord("good/gen"))
+}
+
+func trialStream(seed uint64) uint64 {
+	return rng.DeriveSeed(seed, rng.StringCoord("good/trial"))
+}
+
+// computedLabels are distinguished by their dynamic part and not compared.
+func computedLabels(seed uint64, name string) (uint64, uint64) {
+	a := rng.DeriveSeed(seed, rng.StringCoord("good/pfx/"+name))
+	b := rng.DeriveSeed(seed, rng.StringCoord("good/pfx/"+name))
+	return a, b
+}

@@ -1,0 +1,15 @@
+package seedcoord
+
+import "rfclos/internal/rng"
+
+// sharedStream and sharedStreamTwin deliberately key the same stream (a
+// reproduction of one construction from two call paths); the duplicate
+// site carries the annotation.
+func sharedStream(seed uint64) uint64 {
+	return rng.DeriveSeed(seed, rng.StringCoord("dup/on-purpose"))
+}
+
+func sharedStreamTwin(seed uint64) uint64 {
+	//rfclint:allow seed-coord-literal -- same construction, two call paths
+	return rng.DeriveSeed(seed, rng.StringCoord("dup/on-purpose"))
+}

@@ -1,0 +1,15 @@
+package splitpar
+
+import (
+	"rfclos/internal/engine"
+	"rfclos/internal/rng"
+)
+
+// sequentialByConstruction runs with exactly one worker, so drawing from
+// the captured stream is deterministic; the annotation records why.
+func sequentialByConstruction(parent *rng.Rand) ([]int, error) {
+	return engine.Run(8, 1, func(job int) (int, error) {
+		//rfclint:allow split-in-parallel -- workers pinned to 1
+		return parent.Intn(100), nil
+	})
+}

@@ -8,7 +8,10 @@
 #     cycles/sec (BenchmarkEngineCycles), and
 #   - shard merging: the same Figure 8 sweep split -shard 0/2 + 1/2,
 #     merged with rfcmerge, checked byte-identical to the unsharded
-#     report, with the merge throughput (MB/s of partial JSON) recorded.
+#     report, with the merge throughput (MB/s of partial JSON) recorded, and
+#   - determinism lint gate: wall time of a full-tree rfclint run (the
+#     scripts/lint.sh CI step's dominant cost), from a prebuilt binary so
+#     compile time is excluded.
 #
 # Usage: scripts/bench.sh [reps] [cycles]
 set -eu
@@ -64,6 +67,17 @@ rm -rf "$parts" "$merged" "$out1" "$outN"
 speedup=$(awk "BEGIN{printf \"%.2f\", $serial / $parallel}")
 date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 
+# Determinism lint: a clean full-tree run is required (any finding fails
+# the bench, matching the CI gate) and its wall time recorded.
+lint_bin=$(dirname "$bin")/rfclint
+go build -o "$lint_bin" ./cmd/rfclint
+t0=$(now)
+lint_out=$("$lint_bin" ./...)
+t1=$(now)
+lint_s=$(awk "BEGIN{printf \"%.3f\", $t1 - $t0}")
+lint_pkgs=$(printf '%s\n' "$lint_out" | awk '/packages clean/ { print $2 }')
+: "${lint_pkgs:?bench.sh: rfclint produced no all-clear summary}"
+
 # Simcore packet throughput: simulated cycles per wall-clock second.
 cps=$(go test -run '^$' -bench BenchmarkEngineCycles -benchtime 2s ./internal/simcore/ |
 	awk '/cycles\/sec/ { print $(NF-1) }')
@@ -89,7 +103,9 @@ append_point() { # $1 = JSON object line
 append_point "  {\"date\": \"$date\", \"exhibit\": \"fig8\", \"reps\": $reps, \"cycles\": $cycles, \"cores\": $cores, \"serial_s\": $serial, \"parallel_s\": $parallel, \"speedup\": $speedup}"
 append_point "  {\"date\": \"$date\", \"benchmark\": \"simcore-engine\", \"cycles_per_sec\": $cps}"
 append_point "  {\"date\": \"$date\", \"benchmark\": \"rfcmerge\", \"exhibit\": \"fig8\", \"shards\": 2, \"input_bytes\": $part_bytes, \"merge_s\": $merge_s, \"mb_per_sec\": $merge_mbps}"
+append_point "  {\"date\": \"$date\", \"benchmark\": \"rfclint\", \"packages\": $lint_pkgs, \"lint_s\": $lint_s}"
 
 echo "fig8 x$reps reps @ $cycles cycles: serial ${serial}s, parallel(${cores}) ${parallel}s, speedup ${speedup}x"
 echo "simcore engine: $cps simulated cycles/sec"
 echo "rfcmerge: 2 shards, $part_bytes bytes in ${merge_s}s (${merge_mbps} MB/s), byte-identical to unsharded"
+echo "rfclint: $lint_pkgs packages clean in ${lint_s}s"

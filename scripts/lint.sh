@@ -1,0 +1,25 @@
+#!/bin/sh
+# The repository's static-check gate, run identically by CI and locally:
+#   1. gofmt       — formatting, whole tree
+#   2. go vet      — the standard suspicious-construct checks
+#   3. rfclint     — the determinism invariants (see DESIGN.md,
+#                    "Determinism invariants"): no wall-clock/math-rand in
+#                    deterministic packages, no order-sensitive map ranges,
+#                    no rng.Split in parallel workers, no duplicated
+#                    StringCoord coordinates.
+#
+# Usage: scripts/lint.sh
+# Exits non-zero on the first failing check.
+set -eu
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "lint.sh: gofmt needed:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+go vet ./...
+
+go run ./cmd/rfclint ./...
