@@ -1,0 +1,96 @@
+// Command rfcd is the topology-query daemon: an HTTP/JSON service answering
+// topology, routing, expandability and fault queries over deterministic
+// RFC / fat-tree / random-regular builds, with a content-addressed build
+// cache and precomputed up/down route indexes (see internal/service and
+// DESIGN.md, "Serving layer").
+//
+// Endpoints:
+//
+//	GET  /healthz                       liveness
+//	GET  /metrics                       atomic counters (requests, cache, latency)
+//	POST /v1/topology                   build (or fetch cached) + summary stats
+//	GET  /v1/topology/{key}/export      adjacency JSON / Graphviz DOT / edge list
+//	GET  /v1/path?key=&src=&dst=&seed=  one shortest up/down path
+//	POST /v1/expand                     plan an R-terminal expansion step (§5, Thm 4.2)
+//	GET  /v1/faults?key=&links=&seed=   connectivity + routability under random faults
+//
+// Usage:
+//
+//	rfcd -addr :8080 -cache 64
+//	rfcd -selfcheck        # in-process endpoint smoke test, used by CI
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rfclos/internal/service"
+	"rfclos/internal/service/client"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		cacheSize = flag.Int("cache", 64, "topology cache capacity (LRU entries)")
+		selfcheck = flag.Bool("selfcheck", false, "run the endpoint smoke test against an in-process server and exit")
+	)
+	flag.Parse()
+
+	if *selfcheck {
+		if err := client.Selfcheck(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "rfcd: selfcheck failed:", err)
+			os.Exit(1)
+		}
+		fmt.Println("rfcd: selfcheck passed")
+		return
+	}
+
+	if err := run(*addr, *cacheSize); err != nil {
+		fmt.Fprintln(os.Stderr, "rfcd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cacheSize int) error {
+	srv := service.New(service.Options{CacheSize: cacheSize})
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("rfcd: serving on %s (cache %d)\n", addr, cacheSize)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("rfcd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

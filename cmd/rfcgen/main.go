@@ -1,20 +1,27 @@
 // Command rfcgen generates a topology and prints its structural properties
-// or its edge list.
+// or exports it in a machine-readable format.
 //
 // Usage examples:
 //
 //	rfcgen -topo rfc -radix 36 -levels 3 -leaves 648 -seed 1
 //	rfcgen -topo cft -radix 16 -levels 3
-//	rfcgen -topo oft -q 5 -levels 2 -edges
-//	rfcgen -topo rrn -n 128 -degree 8 -terms 4
+//	rfcgen -topo oft -q 5 -levels 2 -format edges
+//	rfcgen -topo rfc -radix 16 -format json > rfc.json
+//	rfcgen -topo rrn -n 128 -degree 8 -terms 4 -format dot
+//
+// -format uses the same encoders as the rfcd export endpoint
+// (GET /v1/topology/{key}/export), so offline and online exports of the
+// same build are byte-identical. -dot and -edges remain as shorthands.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"rfclos"
+	"rfclos/internal/topology"
 )
 
 func main() {
@@ -29,27 +36,33 @@ func main() {
 		degree = flag.Int("degree", 6, "network degree (rrn)")
 		terms  = flag.Int("terms", 3, "terminals per switch (rrn)")
 		seed   = flag.Uint64("seed", 1, "random seed")
-		edges  = flag.Bool("edges", false, "print the edge list instead of a summary")
-		dot    = flag.Bool("dot", false, "print the topology as Graphviz DOT")
+		format = flag.String("format", "",
+			"export format: "+strings.Join(topology.ExportFormats(), " | ")+" (empty = summary)")
+		edges = flag.Bool("edges", false, "shorthand for -format edges")
+		dot   = flag.Bool("dot", false, "shorthand for -format dot")
 	)
 	flag.Parse()
-	if err := run(*topo, *radix, *levels, *leaves, *q, *k, *n, *degree, *terms, *seed, *edges, *dot); err != nil {
+	f := *format
+	if f == "" && *dot {
+		f = "dot"
+	}
+	if f == "" && *edges {
+		f = "edges"
+	}
+	if err := run(*topo, *radix, *levels, *leaves, *q, *k, *n, *degree, *terms, *seed, f); err != nil {
 		fmt.Fprintln(os.Stderr, "rfcgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topo string, radix, levels, leaves, q, k, n, degree, terms int, seed uint64, edges, dot bool) error {
+func run(topo string, radix, levels, leaves, q, k, n, degree, terms int, seed uint64, format string) error {
 	if topo == "rrn" {
 		rrn, err := rfclos.NewRRN(n, degree, terms, seed)
 		if err != nil {
 			return err
 		}
-		if edges {
-			for _, e := range rrn.G.Edges() {
-				fmt.Println(e.U, e.V)
-			}
-			return nil
+		if format != "" {
+			return topology.ExportRRN(rrn, format, os.Stdout)
 		}
 		fmt.Printf("RRN: N=%d degree=%d radix=%d terminals=%d wires=%d diameter=%d\n",
 			rrn.N(), rrn.Degree, rrn.Radix(), rrn.Terminals(), rrn.Wires(), rrn.Diameter())
@@ -71,10 +84,14 @@ func run(topo string, radix, levels, leaves, q, k, n, degree, terms int, seed ui
 		if err != nil {
 			return err
 		}
-		fmt.Printf("# threshold radix %.2f, x=%.2f, predicted routability %.3f\n",
-			rfclos.ThresholdRadix(leaves, levels), rfclos.XParam(radix, leaves, levels),
-			rfclos.SuccessProbability(rfclos.XParam(radix, leaves, levels)))
-		fmt.Printf("# up/down routable: %v\n", router.Routable())
+		// The advisory comments would corrupt machine-readable exports (and
+		// break byte-identity with the rfcd export endpoint), so summary only.
+		if format == "" {
+			fmt.Printf("# threshold radix %.2f, x=%.2f, predicted routability %.3f\n",
+				rfclos.ThresholdRadix(leaves, levels), rfclos.XParam(radix, leaves, levels),
+				rfclos.SuccessProbability(rfclos.XParam(radix, leaves, levels)))
+			fmt.Printf("# up/down routable: %v\n", router.Routable())
+		}
 	case "cft":
 		c, err = rfclos.NewCFT(radix, levels)
 	case "oft":
@@ -87,14 +104,8 @@ func run(topo string, radix, levels, leaves, q, k, n, degree, terms int, seed ui
 	if err != nil {
 		return err
 	}
-	if dot {
-		return c.WriteDOT(os.Stdout)
-	}
-	if edges {
-		for _, l := range c.Links() {
-			fmt.Println(l.A, l.B)
-		}
-		return nil
+	if format != "" {
+		return topology.Export(c, format, os.Stdout)
 	}
 	fmt.Println(c)
 	fmt.Printf("switches=%d total-ports=%d\n", c.NumSwitches(), c.TotalPorts())

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"rfclos/internal/engine"
+	"rfclos/internal/rng"
+	"rfclos/internal/topology"
+)
+
+// Theorem 4.2 boundary fixture: radix 8, levels 3 gives MaxLeaves = 62, so
+// a 60-leaf base network is exactly one minimal increment (+2 leaves) below
+// the threshold.
+const (
+	edgeRadix  = 8
+	edgeLevels = 3
+)
+
+func edgeBase(t *testing.T) *topology.Clos {
+	t.Helper()
+	maxLeaves := MaxLeaves(edgeRadix, edgeLevels)
+	p := Params{Radix: edgeRadix, Levels: edgeLevels, Leaves: maxLeaves - 2}
+	c, _, _, err := GenerateRoutable(p, 50, rng.New(11))
+	if err != nil {
+		t.Fatalf("generate %v: %v", p, err)
+	}
+	return c
+}
+
+// linkFingerprint hashes the sorted link list, a stable identity for a
+// wiring.
+func linkFingerprint(c *topology.Clos) uint64 {
+	links := c.Links()
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].A != links[j].A {
+			return links[i].A < links[j].A
+		}
+		return links[i].B < links[j].B
+	})
+	h := uint64(0)
+	for _, l := range links {
+		h = rng.DeriveSeed(h, uint64(l.A), uint64(l.B))
+	}
+	return h
+}
+
+// TestExpandToThreshold grows a network to land exactly on the Theorem 4.2
+// ceiling: the expansion must stay structurally valid, rewire exactly
+// (l-1)*R links per increment, and (being at, not past, the threshold)
+// remain routable within a few attempts.
+func TestExpandToThreshold(t *testing.T) {
+	maxLeaves := MaxLeaves(edgeRadix, edgeLevels)
+	base := edgeBase(t)
+	if got := base.LevelSize(1); got != maxLeaves-2 {
+		t.Fatalf("base has %d leaves, want %d", got, maxLeaves-2)
+	}
+	out, ud, rewired, err := ExpandRoutable(base, 1, 10, rng.At(11, rng.StringCoord("expand-edge"), 1))
+	if err != nil {
+		t.Fatalf("expansion onto the threshold failed: %v", err)
+	}
+	if got := out.LevelSize(1); got != maxLeaves {
+		t.Errorf("expanded to %d leaves, want the threshold %d", got, maxLeaves)
+	}
+	if want := (edgeLevels - 1) * edgeRadix; rewired != want {
+		t.Errorf("rewired %d links, want (l-1)*R = %d", rewired, want)
+	}
+	if !ud.Routable() {
+		t.Error("ExpandRoutable returned an unroutable network")
+	}
+	if got, want := out.Terminals(), base.Terminals()+edgeRadix; got != want {
+		t.Errorf("terminals = %d, want %d (+R per increment)", got, want)
+	}
+	if err := out.ValidateRadixRegular(); err != nil {
+		t.Errorf("threshold network not radix-regular: %v", err)
+	}
+}
+
+// TestExpandPastThreshold goes one increment beyond MaxLeaves. The
+// structural expansion must still succeed (the theorem bounds routability,
+// not realizability); routability is permitted to fail, and when
+// ExpandRoutable gives up it must report ErrNotRoutable rather than a
+// mangled network.
+func TestExpandPastThreshold(t *testing.T) {
+	maxLeaves := MaxLeaves(edgeRadix, edgeLevels)
+	base := edgeBase(t)
+
+	out, rewired, err := Expand(base, 2, rng.At(11, rng.StringCoord("expand-edge-past"), 2))
+	if err != nil {
+		t.Fatalf("structural expansion past the threshold failed: %v", err)
+	}
+	if got := out.LevelSize(1); got != maxLeaves+2 {
+		t.Errorf("expanded to %d leaves, want %d (one past threshold)", got, maxLeaves+2)
+	}
+	if want := 2 * (edgeLevels - 1) * edgeRadix; rewired != want {
+		t.Errorf("rewired %d links, want %d", rewired, want)
+	}
+	if err := out.ValidateRadixRegular(); err != nil {
+		t.Errorf("past-threshold network not radix-regular: %v", err)
+	}
+
+	// ExpandRoutable may succeed (the threshold is probabilistic, not sharp)
+	// but on failure the error must be classifiable.
+	if _, _, _, err := ExpandRoutable(base, 2, 3, rng.At(11, rng.StringCoord("expand-edge-past-routable"), 2)); err != nil {
+		if !errors.Is(err, ErrNotRoutable) {
+			t.Errorf("past-threshold failure is %v, want ErrNotRoutable", err)
+		}
+	}
+}
+
+// TestPlanExpansionThresholdBoundary pins the AtThreshold flag in the
+// analytic schedule: rows strictly below MaxLeaves are unflagged, the row
+// reaching it is flagged, and the schedule never silently skips the
+// boundary.
+func TestPlanExpansionThresholdBoundary(t *testing.T) {
+	maxLeaves := MaxLeaves(edgeRadix, edgeLevels)
+	from := Params{Radix: edgeRadix, Levels: edgeLevels, Leaves: maxLeaves - 4}
+	beyond := Params{Radix: edgeRadix, Levels: edgeLevels, Leaves: maxLeaves + 6}
+	steps, err := PlanExpansion(edgeRadix, edgeLevels, from.Terminals(), beyond.Terminals(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawThreshold := false
+	for _, s := range steps {
+		if s.Leaves < maxLeaves && s.AtThreshold {
+			t.Errorf("row at %d leaves flagged AtThreshold below the %d-leaf ceiling", s.Leaves, maxLeaves)
+		}
+		if s.Leaves >= maxLeaves {
+			if !s.AtThreshold {
+				t.Errorf("row at %d leaves not flagged AtThreshold (ceiling %d)", s.Leaves, maxLeaves)
+			}
+			sawThreshold = true
+		}
+	}
+	if !sawThreshold {
+		t.Fatalf("schedule from %d to %d leaves never reached the threshold row", from.Leaves, beyond.Leaves)
+	}
+	last := steps[len(steps)-1]
+	if last.Leaves != maxLeaves {
+		t.Errorf("schedule stops at %d leaves, want it truncated at the threshold %d", last.Leaves, maxLeaves)
+	}
+}
+
+// TestExpandDeterministicAcrossWorkers runs the same per-increment
+// expansion jobs under different engine worker counts and requires
+// identical wirings: each job derives its stream from its own coordinates,
+// so scheduling cannot leak into results.
+func TestExpandDeterministicAcrossWorkers(t *testing.T) {
+	base := edgeBase(t)
+	const jobs = 4
+	run := func(workers int) []uint64 {
+		t.Helper()
+		prints, err := engine.Run(jobs, workers, func(job int) (uint64, error) {
+			inc := job + 1
+			out, _, err := Expand(base, inc, rng.At(11, rng.StringCoord("expand-workers"), uint64(inc)))
+			if err != nil {
+				return 0, fmt.Errorf("job %d: %w", job, err)
+			}
+			return linkFingerprint(out), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prints
+	}
+	serial := run(1)
+	parallel := run(4)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("job %d fingerprint differs across worker counts: %x vs %x", i, serial[i], parallel[i])
+		}
+	}
+	// And the fingerprints are distinct across increments (the jobs really
+	// did different work).
+	seen := map[uint64]bool{}
+	for _, f := range serial {
+		if seen[f] {
+			t.Error("two increments produced identical wirings")
+		}
+		seen[f] = true
+	}
+}

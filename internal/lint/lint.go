@@ -32,6 +32,13 @@ type Config struct {
 	// determinism invariants (exact match, one entry per package).
 	Deterministic []string
 
+	// Server lists import paths explicitly recognized as non-deterministic
+	// serving packages (HTTP daemons and their clients): wall-clock reads
+	// there feed metrics and timeouts, never exhibit bytes. A path listed in
+	// both Server and Deterministic is treated as Server — the declaration
+	// that a package serves overrides the blanket deterministic set.
+	Server []string
+
 	// AllowFiles lists slash-separated file-path suffixes exempt from the
 	// nondet-source rule (e.g. "internal/engine/progress.go", whose
 	// wall-clock reads feed human-facing progress lines, never results).
@@ -77,15 +84,26 @@ func DefaultConfig(module string) *Config {
 	}
 	return &Config{
 		Deterministic: det,
-		AllowFiles:    []string{"internal/engine/progress.go"},
-		RngPkg:        module + "/internal/rng",
-		EnginePkg:     module + "/internal/engine",
+		Server: []string{
+			module + "/internal/service",
+			module + "/internal/service/client",
+			module + "/cmd/rfcd",
+		},
+		AllowFiles: []string{"internal/engine/progress.go"},
+		RngPkg:     module + "/internal/rng",
+		EnginePkg:  module + "/internal/engine",
 	}
 }
 
 // IsDeterministic reports whether the import path is subject to the
-// determinism rules.
+// determinism rules. Server packages never are, even when also listed as
+// deterministic.
 func (c *Config) IsDeterministic(path string) bool {
+	for _, p := range c.Server {
+		if p == path {
+			return false
+		}
+	}
 	for _, p := range c.Deterministic {
 		if p == path {
 			return true

@@ -17,11 +17,14 @@ import (
 // diagnostics.
 
 // fixtureConfig mirrors DefaultConfig but points the deterministic list at
-// the fixture packages (freepkg is deliberately left off it).
+// the fixture packages (freepkg is deliberately left off it). serverpkg is
+// listed as BOTH deterministic and a server package, proving the Server
+// entry overrides the deterministic set.
 func fixtureConfig(t *testing.T, module string) *Config {
 	t.Helper()
-	det := []string{"nondet", "maprange", "splitpar", "seedcoord"}
+	det := []string{"nondet", "maprange", "splitpar", "seedcoord", "serverpkg"}
 	cfg := &Config{
+		Server:     []string{module + "/internal/lint/testdata/src/serverpkg"},
 		AllowFiles: []string{"testdata/src/nondet/allowed_file.go"},
 		RngPkg:     module + "/internal/rng",
 		EnginePkg:  module + "/internal/engine",
@@ -108,7 +111,7 @@ func sortedSet(s map[string]bool) []string {
 func TestFixtures(t *testing.T) {
 	ld := newTestLoader(t)
 	cfg := fixtureConfig(t, ld.Module)
-	for _, pkg := range []string{"nondet", "maprange", "splitpar", "seedcoord", "freepkg"} {
+	for _, pkg := range []string{"nondet", "maprange", "splitpar", "seedcoord", "freepkg", "serverpkg"} {
 		t.Run(pkg, func(t *testing.T) {
 			dir := filepath.Join("testdata", "src", pkg)
 			findings, err := Run(cfg, ld, []string{dir})
@@ -162,9 +165,34 @@ func TestDefaultConfigPackagesExist(t *testing.T) {
 			t.Errorf("deterministic package %s has no Go files at %s (err=%v)", path, dir, err)
 		}
 	}
+	for _, path := range cfg.Server {
+		dir := ld.dirOf(path)
+		ok, err := hasGoFiles(dir)
+		if err != nil || !ok {
+			t.Errorf("server package %s has no Go files at %s (err=%v)", path, dir, err)
+		}
+	}
 	for _, suf := range cfg.AllowFiles {
 		if _, err := os.Stat(filepath.Join(ld.Root, filepath.FromSlash(suf))); err != nil {
 			t.Errorf("allowlisted file %s missing: %v", suf, err)
+		}
+	}
+}
+
+// TestServerOverridesDeterministic pins the precedence rule directly.
+func TestServerOverridesDeterministic(t *testing.T) {
+	cfg := &Config{
+		Deterministic: []string{"m/a", "m/b"},
+		Server:        []string{"m/b", "m/c"},
+	}
+	for path, want := range map[string]bool{
+		"m/a": true,  // deterministic only
+		"m/b": false, // both listed: Server wins
+		"m/c": false, // server only
+		"m/d": false, // unlisted
+	} {
+		if got := cfg.IsDeterministic(path); got != want {
+			t.Errorf("IsDeterministic(%q) = %v, want %v", path, got, want)
 		}
 	}
 }

@@ -1,0 +1,23 @@
+// Package serverpkg models a serving-layer package (internal/service,
+// cmd/rfcd): the fixture config lists it in BOTH Deterministic and Server,
+// and the Server entry must win — wall-clock reads for request timings and
+// timeouts are the point of a server, so no rule may fire here.
+package serverpkg
+
+import "time"
+
+type handler struct {
+	started time.Time
+}
+
+func newHandler() *handler { return &handler{started: time.Now()} }
+
+func (h *handler) uptimeNS() int64 { return time.Since(h.started).Nanoseconds() }
+
+func requestCounts(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package routing
+
+import "math/bits"
+
+// MinTurnIndex is a precomputed up/down route index: for every ordered pair
+// of leaf switches it stores the minimal number of up hops (the "turn
+// level") of a shortest up/down path, i.e. the answer MinTurn computes from
+// the cover sets on every call. The index is built once per topology and is
+// immutable afterwards, so concurrent readers need no synchronisation — the
+// shape the serving layer (internal/service) wants for cached topologies
+// answering many path queries.
+//
+// Memory is one byte per ordered leaf pair (N1^2 bytes); turnUnreachable
+// marks pairs with no up/down path (possible under faults or sub-threshold
+// radices).
+type MinTurnIndex struct {
+	n     int
+	turns []uint8
+}
+
+// turnUnreachable is the sentinel for leaf pairs without an up/down path.
+// Level counts are tiny (the paper's networks have l <= 5), so uint8 is
+// ample.
+const turnUnreachable = 0xff
+
+// NewMinTurnIndex precomputes the minimal turn level for every ordered leaf
+// pair of u's topology from its cover sets. Building is O(l · N1^2 / 64)
+// word operations; lookups afterwards are O(1).
+func NewMinTurnIndex(u *UpDown) *MinTurnIndex {
+	n := u.n1
+	ix := &MinTurnIndex{n: n, turns: make([]uint8, n*n)}
+	for i := range ix.turns {
+		ix.turns[i] = turnUnreachable
+	}
+	for src := 0; src < n; src++ {
+		row := ix.turns[src*n : (src+1)*n]
+		row[src] = 0
+		s := u.c.SwitchID(1, src)
+		for r := 1; r < len(u.cover) && r < turnUnreachable; r++ {
+			cov := u.cover[r][s]
+			if cov == nil {
+				continue
+			}
+			for wi, word := range cov {
+				for word != 0 {
+					b := bits.TrailingZeros64(word)
+					word &= word - 1
+					dst := wi<<6 + b
+					if dst < n && row[dst] == turnUnreachable {
+						row[dst] = uint8(r)
+					}
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// MinTurn returns the minimal number of up hops of a shortest up/down path
+// from leaf index src to leaf index dst, or -1 when no up/down path exists.
+// It is the O(1) equivalent of (*UpDown).MinTurn.
+func (ix *MinTurnIndex) MinTurn(src, dst int) int {
+	t := ix.turns[src*ix.n+dst]
+	if t == turnUnreachable {
+		return -1
+	}
+	return int(t)
+}
+
+// Leaves returns the number of leaf switches the index covers.
+func (ix *MinTurnIndex) Leaves() int { return ix.n }
+
+// SizeBytes returns the memory footprint of the turn table.
+func (ix *MinTurnIndex) SizeBytes() int { return len(ix.turns) }
+
+// Routable reports whether every ordered leaf pair has an up/down path,
+// equivalent to (*UpDown).Routable but read off the precomputed table.
+func (ix *MinTurnIndex) Routable() bool {
+	for _, t := range ix.turns {
+		if t == turnUnreachable {
+			return false
+		}
+	}
+	return true
+}

@@ -277,10 +277,16 @@ func (u *UpDown) UnroutablePairs(limit int) int {
 // src and dst as a switch-id sequence, or nil when unroutable. Used by tests
 // and the CLI; the simulator routes hop by hop instead.
 func (u *UpDown) Path(src, dst int, r *rng.Rand) []int32 {
+	return u.PathAt(src, dst, u.MinTurn(src, dst), r)
+}
+
+// PathAt is Path with the turn level supplied by the caller — typically read
+// from a precomputed MinTurnIndex instead of recomputed from the cover sets.
+// turn must be MinTurn(src, dst); a negative turn returns nil.
+func (u *UpDown) PathAt(src, dst, turn int, r *rng.Rand) []int32 {
 	if r == nil {
 		r = rng.New(1)
 	}
-	turn := u.MinTurn(src, dst)
 	if turn < 0 {
 		return nil
 	}

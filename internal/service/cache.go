@@ -1,0 +1,166 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is the content-addressed topology cache: builds are keyed by the
+// canonical (kind, params, seed) content address, retained under an LRU
+// policy, and deduplicated singleflight-style — N concurrent requests for
+// the same key trigger exactly one build, with the N-1 followers blocking
+// on the winner's result instead of building again.
+//
+// The implementation is a mutex-guarded map + intrusive LRU list; the
+// mutex is never held across a build. An in-flight build is represented by
+// an entry whose ready channel is still open; followers wait on the channel
+// outside the lock. Failed builds are evicted immediately so later requests
+// retry instead of caching the error forever (the error is still delivered
+// to every request that joined the failing flight).
+type Cache struct {
+	build func(Spec) (*Topology, error)
+	reg   *Registry
+
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used; values are *cacheEntry
+	items  map[string]*list.Element
+	builds map[string]int64 // per-key build starts, for tests and selfcheck
+}
+
+type cacheEntry struct {
+	key   string
+	ready chan struct{} // closed when topo/err are final
+	done  bool          // guarded by Cache.mu; true once ready is closed
+	topo  *Topology
+	err   error
+}
+
+// NewCache returns a cache holding up to capacity ready builds, building
+// misses with build (nil means the package-level Build). reg, when non-nil,
+// receives hit/miss/eviction/build counters and build+index timings.
+func NewCache(capacity int, build func(Spec) (*Topology, error), reg *Registry) *Cache {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	if build == nil {
+		build = Build
+	}
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &Cache{
+		build:  build,
+		reg:    reg,
+		cap:    capacity,
+		ll:     list.New(),
+		items:  map[string]*list.Element{},
+		builds: map[string]int64{},
+	}
+}
+
+// Get returns the topology for sp, normalizing it first. The second result
+// reports whether the request was served from cache (including joining an
+// in-flight build of the same key) rather than starting a build.
+func (c *Cache) Get(sp Spec) (*Topology, bool, error) {
+	norm, err := sp.Normalize()
+	if err != nil {
+		return nil, false, err
+	}
+	key := norm.Key()
+
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		c.reg.Add(metricCacheHits, 1)
+		<-e.ready
+		return e.topo, true, e.err
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	c.items[key] = c.ll.PushFront(e)
+	c.builds[key]++
+	c.evictLocked()
+	c.mu.Unlock()
+
+	c.reg.Add(metricCacheMisses, 1)
+	c.reg.Add(metricBuilds, 1)
+	topo, err := c.build(norm)
+	if topo != nil {
+		c.reg.Add(metricBuildNS, topo.BuildNS)
+		c.reg.Add(metricIndexNS, topo.IndexNS)
+	}
+
+	c.mu.Lock()
+	e.topo, e.err = topo, err
+	e.done = true
+	if err != nil {
+		c.reg.Add(metricBuildErrors, 1)
+		// Drop the failed entry (unless a newer entry took the key, which
+		// cannot happen while we are in the map — we only insert under lock
+		// and the key still points at e).
+		if el, ok := c.items[key]; ok && el.Value.(*cacheEntry) == e {
+			c.ll.Remove(el)
+			delete(c.items, key)
+		}
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	return topo, false, err
+}
+
+// Lookup returns the cached topology named by key (the content address),
+// waiting for an in-flight build of that key to finish. ok is false when
+// the key is unknown (never built, or evicted).
+func (c *Cache) Lookup(key string) (*Topology, bool) {
+	c.mu.Lock()
+	el, ok := c.items[key]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	c.mu.Unlock()
+	<-e.ready
+	if e.err != nil {
+		return nil, false
+	}
+	return e.topo, true
+}
+
+// evictLocked trims the LRU tail down to capacity, skipping entries whose
+// builds are still in flight (their requesters hold the entry pointer; the
+// map must keep pointing at it so concurrent requests dedupe onto it).
+// Callers must hold c.mu.
+func (c *Cache) evictLocked() {
+	over := len(c.items) - c.cap
+	for el := c.ll.Back(); over > 0 && el != nil; {
+		prev := el.Prev()
+		e := el.Value.(*cacheEntry)
+		if e.done {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			c.reg.Add(metricCacheEvictions, 1)
+			over--
+		}
+		el = prev
+	}
+}
+
+// Len returns the number of cached (ready or in-flight) entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// BuildsFor returns how many builds have started for key since the cache
+// was created — the singleflight assertion hook: under any concurrency it
+// must be exactly 1 per key unless the entry was evicted or failed.
+func (c *Cache) BuildsFor(key string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.builds[key]
+}

@@ -1,0 +1,180 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// stubSpec returns a valid tiny spec whose canonical string varies with i.
+func stubSpec(i int) Spec {
+	return Spec{Kind: "rfc", Radix: 8, Levels: 3, Leaves: 16, Seed: uint64(i + 1)}
+}
+
+// TestCacheSingleflight forces many goroutines through Get for the same
+// key while the build is deliberately slow (gated on a channel), and
+// asserts exactly one build ran.
+func TestCacheSingleflight(t *testing.T) {
+	gate := make(chan struct{})
+	var builds atomic.Int64
+	build := func(sp Spec) (*Topology, error) {
+		builds.Add(1)
+		<-gate
+		return Build(sp)
+	}
+	c := NewCache(8, build, nil)
+	const waiters = 32
+	var wg sync.WaitGroup
+	results := make([]*Topology, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			topo, _, err := c.Get(stubSpec(0))
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = topo
+		}(i)
+	}
+	// Let every request join the flight, then release the build.
+	for c.Len() == 0 {
+	}
+	close(gate)
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("%d builds ran, want 1", n)
+	}
+	key := mustNormalize(t, stubSpec(0)).Key()
+	if n := c.BuildsFor(key); n != 1 {
+		t.Fatalf("BuildsFor(%s) = %d, want 1", key, n)
+	}
+	for i := 1; i < waiters; i++ {
+		if results[i] != results[0] {
+			t.Fatal("waiters received different topology instances")
+		}
+	}
+}
+
+func mustNormalize(t *testing.T, sp Spec) Spec {
+	t.Helper()
+	norm, err := sp.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return norm
+}
+
+// TestCacheLRUEviction fills the cache past capacity and checks the oldest
+// ready entries are evicted while recently used ones survive.
+func TestCacheLRUEviction(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCache(2, nil, reg)
+	keys := make([]string, 3)
+	for i := 0; i < 2; i++ {
+		topo, cached, err := c.Get(stubSpec(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cached {
+			t.Fatalf("first Get of spec %d reported cached", i)
+		}
+		keys[i] = topo.Key
+	}
+	// Touch spec 0 so spec 1 becomes LRU, then insert spec 2.
+	if _, cached, err := c.Get(stubSpec(0)); err != nil || !cached {
+		t.Fatalf("Get(spec0) cached=%v err=%v, want cache hit", cached, err)
+	}
+	topo, _, err := c.Get(stubSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys[2] = topo.Key
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.Len())
+	}
+	if _, ok := c.Lookup(keys[1]); ok {
+		t.Error("LRU entry (spec 1) survived eviction")
+	}
+	for _, k := range []string{keys[0], keys[2]} {
+		if _, ok := c.Lookup(k); !ok {
+			t.Errorf("recently used key %s was evicted", k)
+		}
+	}
+	if n := reg.Value(metricCacheEvictions); n != 1 {
+		t.Errorf("evictions counter = %d, want 1", n)
+	}
+}
+
+// TestCacheBuildErrorsNotCached checks a failing build is reported to every
+// request that joined it but not retained, so the next request retries.
+func TestCacheBuildErrorsNotCached(t *testing.T) {
+	fail := errors.New("boom")
+	var builds atomic.Int64
+	build := func(sp Spec) (*Topology, error) {
+		builds.Add(1)
+		return nil, fail
+	}
+	c := NewCache(4, build, nil)
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.Get(stubSpec(0)); !errors.Is(err, fail) {
+			t.Fatalf("Get %d error = %v, want %v", i, err, fail)
+		}
+	}
+	if n := builds.Load(); n != 2 {
+		t.Fatalf("%d builds ran, want 2 (errors must not be cached)", n)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("cache holds %d entries after failures, want 0", c.Len())
+	}
+}
+
+// TestCacheRejectsInvalidSpec checks Normalize errors surface without
+// touching the cache.
+func TestCacheRejectsInvalidSpec(t *testing.T) {
+	c := NewCache(4, nil, nil)
+	bad := []Spec{
+		{},
+		{Kind: "nope"},
+		{Kind: "rfc", Radix: 7, Levels: 3, Leaves: 16},
+		{Kind: "cft", Radix: 8, Levels: 1},
+		{Kind: "rrn", N: 1, Degree: 3},
+	}
+	for _, sp := range bad {
+		if _, _, err := c.Get(sp); err == nil {
+			t.Errorf("spec %+v accepted, want error", sp)
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatalf("invalid specs left %d cache entries", c.Len())
+	}
+}
+
+// TestSpecCanonicalization pins the content-address scheme: seed is
+// canonicalised away for deterministic kinds, defaults are filled, and
+// distinct params give distinct keys.
+func TestSpecCanonicalization(t *testing.T) {
+	a := mustNormalize(t, Spec{Kind: "cft", Radix: 8, Levels: 3, Seed: 1})
+	b := mustNormalize(t, Spec{Kind: "cft", Radix: 8, Levels: 3, Seed: 99})
+	if a.Key() != b.Key() {
+		t.Error("cft keys differ across seeds; deterministic kinds must canonicalise seed")
+	}
+	r1 := mustNormalize(t, Spec{Kind: "rfc", Radix: 8, Levels: 3, Leaves: 16, Seed: 1})
+	r2 := mustNormalize(t, Spec{Kind: "rfc", Radix: 8, Levels: 3, Leaves: 16, Seed: 2})
+	if r1.Key() == r2.Key() {
+		t.Error("rfc keys identical across seeds; random kinds must key on seed")
+	}
+	// Leaves defaulting: 0 means MaxLeaves, and the canonical form shows it.
+	d := mustNormalize(t, Spec{Kind: "rfc", Radix: 8, Levels: 3, Seed: 1})
+	if d.Leaves == 0 {
+		t.Error("Normalize left rfc leaves at 0")
+	}
+	if got := fmt.Sprintf("rfc(radix=8,levels=3,leaves=%d,seed=1)", d.Leaves); d.Canonical() != got {
+		t.Errorf("canonical = %q, want %q", d.Canonical(), got)
+	}
+	if len(d.Key()) != 16 {
+		t.Errorf("key %q is not 16 hex chars", d.Key())
+	}
+}

@@ -1,0 +1,182 @@
+// Package client is the Go client for the rfcd topology-query service
+// (internal/service): typed wrappers over the HTTP/JSON API plus the
+// selfcheck harness cmd/rfcd -selfcheck and CI run against an in-process
+// server.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"rfclos/internal/service"
+)
+
+// Client talks to one rfcd server.
+type Client struct {
+	// Base is the server URL prefix, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTPClient is the transport; nil means http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// New returns a client for the server at base.
+func New(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// get performs a GET and returns the raw body, failing on non-2xx status.
+func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.do(req)
+}
+
+// post sends body as JSON and returns the raw response body.
+func (c *Client) post(ctx context.Context, path string, body any) ([]byte, error) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req)
+}
+
+func (c *Client) do(req *http.Request) ([]byte, error) {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			return nil, fmt.Errorf("client: %s %s: %s (HTTP %d)", req.Method, req.URL.Path, apiErr.Error, resp.StatusCode)
+		}
+		return nil, fmt.Errorf("client: %s %s: HTTP %d", req.Method, req.URL.Path, resp.StatusCode)
+	}
+	return data, nil
+}
+
+// Health checks GET /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	body, err := c.get(ctx, "/healthz")
+	if err != nil {
+		return err
+	}
+	if strings.TrimSpace(string(body)) != "ok" {
+		return fmt.Errorf("client: unexpected health body %q", body)
+	}
+	return nil
+}
+
+// Build requests POST /v1/topology for sp, building or returning the
+// cached topology.
+func (c *Client) Build(ctx context.Context, sp service.Spec) (*service.TopologySummary, error) {
+	body, err := c.post(ctx, "/v1/topology", sp)
+	if err != nil {
+		return nil, err
+	}
+	var sum service.TopologySummary
+	if err := json.Unmarshal(body, &sum); err != nil {
+		return nil, err
+	}
+	return &sum, nil
+}
+
+// pathQuery renders the /v1/path query string.
+func pathQuery(key string, src, dst int, seed uint64) string {
+	q := url.Values{}
+	q.Set("key", key)
+	q.Set("src", strconv.Itoa(src))
+	q.Set("dst", strconv.Itoa(dst))
+	q.Set("seed", strconv.FormatUint(seed, 10))
+	return "/v1/path?" + q.Encode()
+}
+
+// PathBytes requests GET /v1/path and returns the raw response body —
+// the byte-identity hook for determinism checks and benchmarks.
+func (c *Client) PathBytes(ctx context.Context, key string, src, dst int, seed uint64) ([]byte, error) {
+	return c.get(ctx, pathQuery(key, src, dst, seed))
+}
+
+// Path requests GET /v1/path, decoded.
+func (c *Client) Path(ctx context.Context, key string, src, dst int, seed uint64) (*service.PathResponse, error) {
+	body, err := c.PathBytes(ctx, key, src, dst, seed)
+	if err != nil {
+		return nil, err
+	}
+	var resp service.PathResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Expand requests POST /v1/expand.
+func (c *Client) Expand(ctx context.Context, req service.ExpandRequest) (*service.ExpandResponse, error) {
+	body, err := c.post(ctx, "/v1/expand", req)
+	if err != nil {
+		return nil, err
+	}
+	var resp service.ExpandResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Faults requests GET /v1/faults: drop links random links from the seeded
+// stream and report connectivity and routability.
+func (c *Client) Faults(ctx context.Context, key string, links int, seed uint64) (*service.FaultsResponse, error) {
+	q := url.Values{}
+	q.Set("key", key)
+	q.Set("links", strconv.Itoa(links))
+	q.Set("seed", strconv.FormatUint(seed, 10))
+	body, err := c.get(ctx, "/v1/faults?"+q.Encode())
+	if err != nil {
+		return nil, err
+	}
+	var resp service.FaultsResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Export requests GET /v1/topology/{key}/export in the given format
+// ("json", "dot" or "edges") and returns the raw bytes.
+func (c *Client) Export(ctx context.Context, key, format string) ([]byte, error) {
+	return c.get(ctx, "/v1/topology/"+url.PathEscape(key)+"/export?format="+url.QueryEscape(format))
+}
+
+// MetricsText returns the raw /metrics body.
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	body, err := c.get(ctx, "/metrics")
+	return string(body), err
+}

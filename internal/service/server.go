@@ -1,0 +1,508 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"rfclos/internal/core"
+	"rfclos/internal/rng"
+	"rfclos/internal/routing"
+	"rfclos/internal/topology"
+)
+
+// Options configures a Server.
+type Options struct {
+	// CacheSize is the maximum number of ready topology builds retained
+	// (LRU). 0 means the default (64).
+	CacheSize int
+}
+
+// Server is the rfcd request handler: the topology cache plus the HTTP/JSON
+// API over it. Create with New, mount via Handler.
+type Server struct {
+	cache *Cache
+	reg   *Registry
+	mux   *http.ServeMux
+}
+
+// New returns a ready-to-serve Server.
+func New(opts Options) *Server {
+	reg := NewRegistry()
+	s := &Server{
+		cache: NewCache(opts.CacheSize, nil, reg),
+		reg:   reg,
+		mux:   http.NewServeMux(),
+	}
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /metrics", s.handleMetrics)
+	s.route("POST /v1/topology", s.handleTopology)
+	s.route("GET /v1/topology/{key}/export", s.handleExport)
+	s.route("GET /v1/path", s.handlePath)
+	s.route("POST /v1/expand", s.handleExpand)
+	s.route("GET /v1/faults", s.handleFaults)
+	return s
+}
+
+// Handler returns the HTTP handler serving the full API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the topology cache (selfcheck and tests assert on its
+// build counters).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Metrics exposes the counter registry.
+func (s *Server) Metrics() *Registry { return s.reg }
+
+// route registers a handler with a per-endpoint request counter. The
+// metric label is the pattern's path with wildcards intact, so cardinality
+// stays fixed.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	ctr := s.reg.Counter(requestMetric(pattern))
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		ctr.Add(1)
+		h(w, r)
+	})
+}
+
+// apiError is the uniform JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	s.reg.Add(metricHTTPErrors, 1)
+	writeJSON(w, code, apiError{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(body, '\n'))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.reg.WriteTo(w)
+}
+
+// TopologySummary is the POST /v1/topology response: the content address
+// plus the structural stats of the build. Apart from Cached (server cache
+// state) every field is a pure function of the spec.
+type TopologySummary struct {
+	Key       string `json:"key"`
+	Canonical string `json:"canonical"`
+	Kind      string `json:"kind"`
+	Seed      uint64 `json:"seed,omitempty"`
+	Levels    int    `json:"levels,omitempty"`
+	Radix     int    `json:"radix,omitempty"`
+	Switches  int    `json:"switches"`
+	Terminals int    `json:"terminals"`
+	Wires     int    `json:"wires"`
+	Routable  bool   `json:"routable"`
+	Attempts  int    `json:"attempts,omitempty"`
+	// IndexLeaves/IndexBytes describe the precomputed up/down route index
+	// (folded Clos kinds under the indexing size cap).
+	IndexLeaves int `json:"index_leaves,omitempty"`
+	IndexBytes  int `json:"index_bytes,omitempty"`
+	// Theorem 4.2 placement, rfc only.
+	XParam         *float64 `json:"x_param,omitempty"`
+	ThresholdRadix *float64 `json:"threshold_radix,omitempty"`
+	Cached         bool     `json:"cached"`
+}
+
+func (s *Server) summarize(t *Topology, cached bool) TopologySummary {
+	sum := TopologySummary{
+		Key:       t.Key,
+		Canonical: t.Canon,
+		Kind:      t.Spec.Kind,
+		Seed:      t.Spec.Seed,
+		Switches:  t.Switches(),
+		Terminals: t.Terminals(),
+		Wires:     t.Wires(),
+		Routable:  t.Routable,
+		Attempts:  t.Attempts,
+		Cached:    cached,
+	}
+	if t.Clos != nil {
+		sum.Levels = t.Clos.Levels()
+		sum.Radix = t.Clos.Radix
+	}
+	if t.Index != nil {
+		sum.IndexLeaves = t.Index.Leaves()
+		sum.IndexBytes = t.Index.SizeBytes()
+	}
+	if t.Spec.Kind == "rfc" {
+		x := core.XParam(t.Spec.Radix, t.Spec.Leaves, t.Spec.Levels)
+		tr := core.ThresholdRadix(t.Spec.Leaves, t.Spec.Levels)
+		sum.XParam = &x
+		sum.ThresholdRadix = &tr
+	}
+	return sum
+}
+
+func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
+	var sp Spec
+	if err := json.NewDecoder(r.Body).Decode(&sp); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	t, cached, err := s.cache.Get(sp)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, core.ErrNotRoutable) {
+			code = http.StatusUnprocessableEntity
+		}
+		s.writeError(w, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, s.summarize(t, cached))
+}
+
+// lookup resolves a topology key from the cache, writing the 404 itself
+// when absent.
+func (s *Server) lookup(w http.ResponseWriter, key string) (*Topology, bool) {
+	t, ok := s.cache.Lookup(key)
+	if !ok {
+		s.writeError(w, http.StatusNotFound,
+			fmt.Sprintf("unknown topology key %q: build it first via POST /v1/topology", key))
+		return nil, false
+	}
+	return t, true
+}
+
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.lookup(w, r.PathValue("key"))
+	if !ok {
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "json"
+	}
+	ct := "text/plain; charset=utf-8"
+	if format == "json" {
+		ct = "application/json"
+	}
+	var err error
+	if t.RRN != nil {
+		w.Header().Set("Content-Type", ct)
+		err = topology.ExportRRN(t.RRN, format, w)
+	} else {
+		w.Header().Set("Content-Type", ct)
+		err = topology.Export(t.Clos, format, w)
+	}
+	if err != nil {
+		// Headers may already be out for a streaming failure; for an unknown
+		// format nothing has been written yet, so the error reaches the
+		// client cleanly.
+		s.writeError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+// PathResponse is the GET /v1/path response: one shortest up/down path
+// (folded Clos kinds, leaf-switch indices) or one BFS shortest path (rrn,
+// switch ids). A pure function of (key's params, src, dst, seed).
+type PathResponse struct {
+	Key string `json:"key"`
+	Src int    `json:"src"`
+	Dst int    `json:"dst"`
+	// MinTurn is the up-hop count of the shortest up/down path (folded Clos
+	// kinds; absent for rrn). -1 when src and dst have no up/down path.
+	MinTurn *int `json:"min_turn,omitempty"`
+	// Routable reports whether a path exists for this pair.
+	Routable bool `json:"routable"`
+	// Hops is len(Path)-1, the switch-to-switch hop count.
+	Hops int `json:"hops"`
+	// Path is the switch-id sequence from src's switch to dst's switch.
+	Path []int32 `json:"path,omitempty"`
+	Seed uint64  `json:"seed"`
+}
+
+// queryInt parses a required integer query parameter.
+func queryInt(r *http.Request, name string) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return 0, fmt.Errorf("missing query parameter %q", name)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("query parameter %q: %v", name, err)
+	}
+	return n, nil
+}
+
+// querySeed parses an optional uint64 seed query parameter (default 1).
+func querySeed(r *http.Request) (uint64, error) {
+	v := r.URL.Query().Get("seed")
+	if v == "" {
+		return 1, nil
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("query parameter \"seed\": %v", err)
+	}
+	return n, nil
+}
+
+func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	t, ok := s.lookup(w, key)
+	if !ok {
+		return
+	}
+	src, err := queryInt(r, "src")
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	dst, err := queryInt(r, "dst")
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	seed, err := querySeed(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp := PathResponse{Key: t.Key, Src: src, Dst: dst, Seed: seed}
+	if t.RRN != nil {
+		if src < 0 || src >= t.RRN.N() || dst < 0 || dst >= t.RRN.N() {
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("src/dst must be switch ids in [0, %d)", t.RRN.N()))
+			return
+		}
+		path := t.RRN.G.ShortestPath(src, dst)
+		resp.Routable = path != nil
+		if path != nil {
+			resp.Path = path
+			resp.Hops = len(path) - 1
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	n1 := t.Clos.LevelSize(1)
+	if src < 0 || src >= n1 || dst < 0 || dst >= n1 {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("src/dst must be leaf-switch indices in [0, %d)", n1))
+		return
+	}
+	// O(1) turn lookup from the precomputed index when present, cover-set
+	// computation otherwise; then materialise the random shortest up/down
+	// path from the query seed.
+	var turn int
+	if t.Index != nil {
+		turn = t.Index.MinTurn(src, dst)
+	} else {
+		turn = t.Router.MinTurn(src, dst)
+	}
+	resp.MinTurn = &turn
+	resp.Routable = turn >= 0
+	if turn >= 0 {
+		stream := rng.At(seed, rng.StringCoord("rfcd/path"), uint64(src), uint64(dst))
+		path := t.Router.PathAt(src, dst, turn, stream)
+		resp.Path = path
+		resp.Hops = len(path) - 1
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ExpandRequest is the POST /v1/expand body: expand the cached RFC named
+// by Key by Increments minimal strong expansions (§5; R new terminals
+// each).
+type ExpandRequest struct {
+	Key        string `json:"key"`
+	Increments int    `json:"increments,omitempty"` // default 1
+}
+
+// ExpandResponse reports one planned expansion step and its distance to
+// the Theorem 4.2 threshold. A pure function of (key's params, seed,
+// increments).
+type ExpandResponse struct {
+	Key        string `json:"key"`
+	Increments int    `json:"increments"`
+
+	LeavesBefore    int `json:"leaves_before"`
+	LeavesAfter     int `json:"leaves_after"`
+	TerminalsBefore int `json:"terminals_before"`
+	TerminalsAfter  int `json:"terminals_after"`
+
+	// MaxLeaves is the Theorem 4.2 ceiling for this radix and level count;
+	// IncrementsToThreshold is how many more increments the pre-expansion
+	// network could take before reaching it (0 when already at or past).
+	MaxLeaves             int  `json:"max_leaves"`
+	IncrementsToThreshold int  `json:"increments_to_threshold"`
+	AtThreshold           bool `json:"at_threshold"`
+	PastThreshold         bool `json:"past_threshold"`
+
+	// XBefore/XAfter are the Theorem 4.2 offsets, SuccessBefore/After the
+	// implied exp(-exp(-x)) routability probabilities.
+	XBefore       float64 `json:"x_before"`
+	XAfter        float64 `json:"x_after"`
+	SuccessBefore float64 `json:"success_before"`
+	SuccessAfter  float64 `json:"success_after"`
+
+	// RewiredLinks counts existing links the performed expansion re-plugged
+	// ((l-1)·R per increment); Routable reports whether the expanded network
+	// kept the up/down common-ancestor property.
+	RewiredLinks int  `json:"rewired_links"`
+	Routable     bool `json:"routable"`
+}
+
+func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
+	var req ExpandRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	if req.Increments == 0 {
+		req.Increments = 1
+	}
+	if req.Increments < 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("increments %d < 0", req.Increments))
+		return
+	}
+	t, ok := s.lookup(w, req.Key)
+	if !ok {
+		return
+	}
+	if t.Spec.Kind != "rfc" {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("expansion requires an rfc topology, key %q is %q", req.Key, t.Spec.Kind))
+		return
+	}
+	sp := t.Spec
+	before := core.Params{Radix: sp.Radix, Levels: sp.Levels, Leaves: sp.Leaves}
+	after := core.Params{Radix: sp.Radix, Levels: sp.Levels, Leaves: sp.Leaves + 2*req.Increments}
+	maxLeaves := core.MaxLeaves(sp.Radix, sp.Levels)
+	resp := ExpandResponse{
+		Key:             t.Key,
+		Increments:      req.Increments,
+		LeavesBefore:    before.Leaves,
+		LeavesAfter:     after.Leaves,
+		TerminalsBefore: before.Terminals(),
+		TerminalsAfter:  after.Terminals(),
+		MaxLeaves:       maxLeaves,
+		AtThreshold:     after.Leaves == maxLeaves,
+		PastThreshold:   after.Leaves > maxLeaves,
+		XBefore:         core.XParam(sp.Radix, before.Leaves, sp.Levels),
+		XAfter:          core.XParam(sp.Radix, after.Leaves, sp.Levels),
+	}
+	if before.Leaves < maxLeaves {
+		resp.IncrementsToThreshold = (maxLeaves - before.Leaves) / 2
+	}
+	resp.SuccessBefore = core.SuccessProbability(resp.XBefore)
+	resp.SuccessAfter = core.SuccessProbability(resp.XAfter)
+
+	// Perform the expansion with a stream derived from (seed, increments):
+	// the same request against the same topology always reports the same
+	// rewiring. ExpandRoutable retries the splice like GenerateRoutable; if
+	// every attempt loses routability (expected past the threshold), fall
+	// back to a single unchecked expansion and report routable = false.
+	stream := rng.At(sp.Seed, rng.StringCoord("rfcd/expand"), uint64(req.Increments))
+	out, _, rewired, err := core.ExpandRoutable(t.Clos, req.Increments, 10, stream)
+	if err == nil {
+		resp.RewiredLinks = rewired
+		resp.Routable = true
+	} else if errors.Is(err, core.ErrNotRoutable) {
+		fallback := rng.At(sp.Seed, rng.StringCoord("rfcd/expand-unchecked"), uint64(req.Increments))
+		out, rewired, err = core.Expand(t.Clos, req.Increments, fallback)
+		if err != nil {
+			s.writeError(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+		resp.RewiredLinks = rewired
+		resp.Routable = routing.New(out).Routable()
+	} else {
+		s.writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// FaultsResponse is the GET /v1/faults response: connectivity and up/down
+// routability after dropping k random links from a seeded stream. A pure
+// function of (key's params, links, seed).
+type FaultsResponse struct {
+	Key string `json:"key"`
+	// LinksRemoved is the number of links actually dropped (the request's
+	// count clamped to the wire count).
+	LinksRemoved int    `json:"links_removed"`
+	Wires        int    `json:"wires"`
+	Seed         uint64 `json:"seed"`
+	// Connected reports whether the switch graph stays in one component.
+	Connected bool `json:"connected"`
+	// Routable reports whether every leaf pair keeps an up/down path
+	// (folded Clos kinds); for rrn it equals Connected.
+	Routable bool `json:"routable"`
+	// UnroutablePairs counts leaf pairs without an up/down path (folded
+	// Clos kinds; 0 for rrn).
+	UnroutablePairs int `json:"unroutable_pairs"`
+}
+
+func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.lookup(w, r.URL.Query().Get("key"))
+	if !ok {
+		return
+	}
+	k, err := queryInt(r, "links")
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if k < 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("links %d < 0", k))
+		return
+	}
+	seed, err := querySeed(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	stream := rng.At(seed, rng.StringCoord("rfcd/faults"))
+	resp := FaultsResponse{Key: t.Key, Seed: seed, Wires: t.Wires()}
+	if t.RRN != nil {
+		g := t.RRN.G.Clone()
+		edges := g.Edges()
+		stream.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+		if k > len(edges) {
+			k = len(edges)
+		}
+		for _, e := range edges[:k] {
+			g.RemoveEdge(int(e.U), int(e.V))
+		}
+		resp.LinksRemoved = k
+		resp.Connected = g.IsConnected()
+		resp.Routable = resp.Connected
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	faulty := t.Clos.Clone()
+	links := faulty.Links()
+	stream.Shuffle(len(links), func(i, j int) { links[i], links[j] = links[j], links[i] })
+	if k > len(links) {
+		k = len(links)
+	}
+	for _, l := range links[:k] {
+		faulty.RemoveLink(l.A, l.B)
+	}
+	resp.LinksRemoved = k
+	resp.Connected = faulty.SwitchGraph().IsConnected()
+	ud := routing.New(faulty)
+	resp.UnroutablePairs = ud.UnroutablePairs(0)
+	resp.Routable = resp.UnroutablePairs == 0
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,374 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rfclos/internal/topology"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(Options{CacheSize: 8})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// postJSON sends v to path and decodes the response into out, returning the
+// status code.
+func postJSON(t *testing.T, base, path string, v any, out any) int {
+	t.Helper()
+	payload, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s response: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// getBody fetches path and returns status and raw body.
+func getBody(t *testing.T, base, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+func buildTopology(t *testing.T, base string, sp Spec) TopologySummary {
+	t.Helper()
+	var sum TopologySummary
+	if code := postJSON(t, base, "/v1/topology", sp, &sum); code != http.StatusOK {
+		t.Fatalf("POST /v1/topology %+v: HTTP %d", sp, code)
+	}
+	return sum
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := getBody(t, ts.URL, "/healthz")
+	if code != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("healthz: HTTP %d body %q", code, body)
+	}
+	code, body = getBody(t, ts.URL, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", code)
+	}
+	if !strings.Contains(string(body), `rfcd_requests_total{endpoint="GET /healthz"} 1`) {
+		t.Errorf("metrics missing healthz request counter:\n%s", body)
+	}
+}
+
+func TestTopologyEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t)
+	sp := Spec{Kind: "rfc", Radix: 8, Levels: 3, Leaves: 16, Seed: 1}
+	sum := buildTopology(t, ts.URL, sp)
+	if sum.Cached {
+		t.Error("first build reported cached")
+	}
+	if !sum.Routable {
+		t.Error("rfc build not routable")
+	}
+	if sum.Terminals != 16*8/2 {
+		t.Errorf("terminals = %d, want %d", sum.Terminals, 16*8/2)
+	}
+	if sum.Switches != 2*16+8 {
+		t.Errorf("switches = %d, want %d", sum.Switches, 2*16+8)
+	}
+	if sum.IndexLeaves != 16 {
+		t.Errorf("index_leaves = %d, want 16 (index should be precomputed)", sum.IndexLeaves)
+	}
+	if sum.XParam == nil || sum.ThresholdRadix == nil {
+		t.Error("rfc summary missing Theorem 4.2 fields")
+	}
+	again := buildTopology(t, ts.URL, sp)
+	if !again.Cached {
+		t.Error("second build was not a cache hit")
+	}
+	if n := srv.Cache().BuildsFor(sum.Key); n != 1 {
+		t.Errorf("BuildsFor(%s) = %d, want 1", sum.Key, n)
+	}
+	// Apart from Cached, the two summaries must agree byte-for-byte.
+	again.Cached = sum.Cached
+	a, _ := json.Marshal(sum)
+	b, _ := json.Marshal(again)
+	if !bytes.Equal(a, b) {
+		t.Errorf("summaries differ beyond the cached flag:\n%s\n%s", a, b)
+	}
+
+	if code := postJSON(t, ts.URL, "/v1/topology", Spec{Kind: "nope"}, nil); code != http.StatusBadRequest {
+		t.Errorf("unknown kind: HTTP %d, want 400", code)
+	}
+	resp, err := http.Post(ts.URL+"/v1/topology", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestExportEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	sp := Spec{Kind: "cft", Radix: 8, Levels: 3}
+	sum := buildTopology(t, ts.URL, sp)
+
+	norm, err := sp.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline, err := Build(norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range topology.ExportFormats() {
+		code, got := getBody(t, ts.URL, "/v1/topology/"+sum.Key+"/export?format="+format)
+		if code != http.StatusOK {
+			t.Fatalf("export %s: HTTP %d", format, code)
+		}
+		var want bytes.Buffer
+		if err := topology.Export(offline.Clos, format, &want); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Errorf("online %s export differs from offline encoder", format)
+		}
+	}
+	// Default format is json.
+	code, def := getBody(t, ts.URL, "/v1/topology/"+sum.Key+"/export")
+	codeJSON, asJSON := getBody(t, ts.URL, "/v1/topology/"+sum.Key+"/export?format=json")
+	if code != http.StatusOK || codeJSON != http.StatusOK || !bytes.Equal(def, asJSON) {
+		t.Error("default export format is not json")
+	}
+	if code, _ := getBody(t, ts.URL, "/v1/topology/"+sum.Key+"/export?format=bogus"); code != http.StatusBadRequest {
+		t.Errorf("bogus format: HTTP %d, want 400", code)
+	}
+	if code, _ := getBody(t, ts.URL, "/v1/topology/ffffffffffffffff/export"); code != http.StatusNotFound {
+		t.Errorf("unknown key: HTTP %d, want 404", code)
+	}
+}
+
+func TestPathEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	sum := buildTopology(t, ts.URL, Spec{Kind: "rfc", Radix: 8, Levels: 3, Leaves: 16, Seed: 1})
+
+	code, body := getBody(t, ts.URL, fmt.Sprintf("/v1/path?key=%s&src=0&dst=15&seed=7", sum.Key))
+	if code != http.StatusOK {
+		t.Fatalf("path: HTTP %d body %s", code, body)
+	}
+	var p PathResponse
+	if err := json.Unmarshal(body, &p); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Routable || p.MinTurn == nil || *p.MinTurn < 1 {
+		t.Fatalf("path response not routable: %+v", p)
+	}
+	if len(p.Path) != p.Hops+1 {
+		t.Errorf("hops = %d but path has %d switches", p.Hops, len(p.Path))
+	}
+	if p.Hops != 2**p.MinTurn {
+		t.Errorf("hops = %d, want 2*min_turn = %d", p.Hops, 2**p.MinTurn)
+	}
+	if p.Path[0] != 0 || p.Path[len(p.Path)-1] != 15 {
+		t.Errorf("path endpoints %d..%d, want 0..15", p.Path[0], p.Path[len(p.Path)-1])
+	}
+	// Identical query → identical bytes.
+	_, body2 := getBody(t, ts.URL, fmt.Sprintf("/v1/path?key=%s&src=0&dst=15&seed=7", sum.Key))
+	if !bytes.Equal(body, body2) {
+		t.Error("repeated path query returned different bytes")
+	}
+	// Self-path: zero hops.
+	code, body = getBody(t, ts.URL, fmt.Sprintf("/v1/path?key=%s&src=3&dst=3", sum.Key))
+	if code != http.StatusOK {
+		t.Fatalf("self path: HTTP %d", code)
+	}
+	if err := json.Unmarshal(body, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Hops != 0 || len(p.Path) != 1 {
+		t.Errorf("self path hops=%d len=%d, want 0 hops", p.Hops, len(p.Path))
+	}
+
+	for _, q := range []string{
+		"/v1/path?key=" + sum.Key + "&src=0&dst=99",
+		"/v1/path?key=" + sum.Key + "&src=-1&dst=0",
+		"/v1/path?key=" + sum.Key + "&dst=0",
+		"/v1/path?key=" + sum.Key + "&src=x&dst=0",
+		"/v1/path?key=" + sum.Key + "&src=0&dst=0&seed=-2",
+	} {
+		if code, _ := getBody(t, ts.URL, q); code != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", q, code)
+		}
+	}
+	if code, _ := getBody(t, ts.URL, "/v1/path?key=none&src=0&dst=1"); code != http.StatusNotFound {
+		t.Errorf("unknown key: HTTP %d, want 404", code)
+	}
+}
+
+func TestPathEndpointRRN(t *testing.T) {
+	_, ts := newTestServer(t)
+	sum := buildTopology(t, ts.URL, Spec{Kind: "rrn", N: 32, Degree: 4, Terms: 2, Seed: 1})
+	code, body := getBody(t, ts.URL, fmt.Sprintf("/v1/path?key=%s&src=0&dst=31", sum.Key))
+	if code != http.StatusOK {
+		t.Fatalf("rrn path: HTTP %d body %s", code, body)
+	}
+	var p PathResponse
+	if err := json.Unmarshal(body, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.MinTurn != nil {
+		t.Error("rrn path response carries min_turn")
+	}
+	if !p.Routable || len(p.Path) != p.Hops+1 {
+		t.Errorf("rrn path malformed: %+v", p)
+	}
+}
+
+func TestExpandEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	sp := Spec{Kind: "rfc", Radix: 8, Levels: 3, Leaves: 16, Seed: 1}
+	sum := buildTopology(t, ts.URL, sp)
+
+	var exp ExpandResponse
+	if code := postJSON(t, ts.URL, "/v1/expand", ExpandRequest{Key: sum.Key}, &exp); code != http.StatusOK {
+		t.Fatalf("expand: HTTP %d", code)
+	}
+	if exp.Increments != 1 {
+		t.Errorf("increments defaulted to %d, want 1", exp.Increments)
+	}
+	if exp.LeavesAfter != 18 {
+		t.Errorf("leaves_after = %d, want 18", exp.LeavesAfter)
+	}
+	if exp.TerminalsAfter-exp.TerminalsBefore != sp.Radix {
+		t.Errorf("terminal growth = %d, want R = %d", exp.TerminalsAfter-exp.TerminalsBefore, sp.Radix)
+	}
+	if exp.MaxLeaves <= sp.Leaves {
+		t.Errorf("max_leaves = %d, want > %d for this roomy config", exp.MaxLeaves, sp.Leaves)
+	}
+	wantInc := (exp.MaxLeaves - sp.Leaves) / 2
+	if exp.IncrementsToThreshold != wantInc {
+		t.Errorf("increments_to_threshold = %d, want %d", exp.IncrementsToThreshold, wantInc)
+	}
+	if exp.AtThreshold || exp.PastThreshold {
+		t.Error("threshold flags set well below the threshold")
+	}
+	if exp.XAfter >= exp.XBefore || exp.SuccessAfter >= exp.SuccessBefore {
+		t.Error("expansion should shrink the Theorem 4.2 margin")
+	}
+	if exp.RewiredLinks != (sp.Levels-1)*sp.Radix {
+		t.Errorf("rewired_links = %d, want (l-1)*R = %d", exp.RewiredLinks, (sp.Levels-1)*sp.Radix)
+	}
+	// Same request, same response bytes (purity).
+	var exp2 ExpandResponse
+	postJSON(t, ts.URL, "/v1/expand", ExpandRequest{Key: sum.Key}, &exp2)
+	a, _ := json.Marshal(exp)
+	b, _ := json.Marshal(exp2)
+	if !bytes.Equal(a, b) {
+		t.Error("repeated expand request returned a different plan")
+	}
+
+	cft := buildTopology(t, ts.URL, Spec{Kind: "cft", Radix: 8, Levels: 3})
+	if code := postJSON(t, ts.URL, "/v1/expand", ExpandRequest{Key: cft.Key}, nil); code != http.StatusBadRequest {
+		t.Errorf("expand cft: HTTP %d, want 400", code)
+	}
+	if code := postJSON(t, ts.URL, "/v1/expand", ExpandRequest{Key: sum.Key, Increments: -1}, nil); code != http.StatusBadRequest {
+		t.Errorf("negative increments: HTTP %d, want 400", code)
+	}
+	if code := postJSON(t, ts.URL, "/v1/expand", ExpandRequest{Key: "none"}, nil); code != http.StatusNotFound {
+		t.Errorf("unknown key: HTTP %d, want 404", code)
+	}
+}
+
+func TestFaultsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	sum := buildTopology(t, ts.URL, Spec{Kind: "rfc", Radix: 8, Levels: 3, Leaves: 16, Seed: 1})
+
+	code, body := getBody(t, ts.URL, fmt.Sprintf("/v1/faults?key=%s&links=3&seed=5", sum.Key))
+	if code != http.StatusOK {
+		t.Fatalf("faults: HTTP %d body %s", code, body)
+	}
+	var f FaultsResponse
+	if err := json.Unmarshal(body, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.LinksRemoved != 3 || f.Wires != sum.Wires {
+		t.Errorf("faults removed %d of %d wires, want 3 of %d", f.LinksRemoved, f.Wires, sum.Wires)
+	}
+	if f.Routable != (f.UnroutablePairs == 0) {
+		t.Errorf("routable=%v inconsistent with unroutable_pairs=%d", f.Routable, f.UnroutablePairs)
+	}
+	// Zero faults leave the build intact.
+	_, body = getBody(t, ts.URL, fmt.Sprintf("/v1/faults?key=%s&links=0", sum.Key))
+	if err := json.Unmarshal(body, &f); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Connected || !f.Routable || f.UnroutablePairs != 0 {
+		t.Errorf("zero-fault response reports damage: %+v", f)
+	}
+	// Removing every link disconnects everything; count is clamped.
+	_, body = getBody(t, ts.URL, fmt.Sprintf("/v1/faults?key=%s&links=%d", sum.Key, sum.Wires+100))
+	if err := json.Unmarshal(body, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.LinksRemoved != sum.Wires || f.Connected || f.Routable {
+		t.Errorf("total destruction response: %+v", f)
+	}
+	// Identical query → identical bytes (seeded stream, no server state).
+	_, b1 := getBody(t, ts.URL, fmt.Sprintf("/v1/faults?key=%s&links=7&seed=9", sum.Key))
+	_, b2 := getBody(t, ts.URL, fmt.Sprintf("/v1/faults?key=%s&links=7&seed=9", sum.Key))
+	if !bytes.Equal(b1, b2) {
+		t.Error("repeated fault query returned different bytes")
+	}
+
+	if code, _ := getBody(t, ts.URL, "/v1/faults?key="+sum.Key+"&links=-1"); code != http.StatusBadRequest {
+		t.Errorf("negative links: HTTP %d, want 400", code)
+	}
+	if code, _ := getBody(t, ts.URL, "/v1/faults?key=none&links=1"); code != http.StatusNotFound {
+		t.Errorf("unknown key: HTTP %d, want 404", code)
+	}
+}
+
+func TestMetricsReflectTraffic(t *testing.T) {
+	srv, ts := newTestServer(t)
+	sp := Spec{Kind: "cft", Radix: 4, Levels: 2}
+	buildTopology(t, ts.URL, sp)
+	buildTopology(t, ts.URL, sp)
+	getBody(t, ts.URL, "/v1/path?key=bogus&src=0&dst=1") // 404 → http_errors
+
+	reg := srv.Metrics()
+	for name, want := range map[string]int64{
+		metricCacheHits:   1,
+		metricCacheMisses: 1,
+		metricBuilds:      1,
+		metricHTTPErrors:  1,
+	} {
+		if got := reg.Value(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if reg.Value(metricBuildNS) <= 0 {
+		t.Error("build time counter never advanced")
+	}
+}

@@ -1,0 +1,88 @@
+package topology
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file is the single topology export encoder shared by the offline
+// tooling (cmd/rfcgen -format) and the serving layer's export endpoint
+// (internal/service, GET /v1/topology/{key}/export): both call Export /
+// ExportRRN, so a topology exported online is byte-identical to the same
+// topology exported offline.
+
+// ExportFormats lists the formats Export and ExportRRN accept.
+func ExportFormats() []string { return []string{"json", "dot", "edges"} }
+
+// Export writes c in the named format: "json" (the WriteJSON adjacency
+// schema), "dot" (Graphviz) or "edges" (one "a b" line per link).
+func Export(c *Clos, format string, w io.Writer) error {
+	switch format {
+	case "json":
+		return c.WriteJSON(w)
+	case "dot":
+		return c.WriteDOT(w)
+	case "edges":
+		return c.WriteEdgeList(w)
+	default:
+		return fmt.Errorf("topology: unknown export format %q (want json, dot or edges)", format)
+	}
+}
+
+// rrnJSON is the on-disk schema for a random regular network, mirroring
+// closJSON: parameters plus an explicit edge list.
+type rrnJSON struct {
+	N              int      `json:"n"`
+	Degree         int      `json:"degree"`
+	TermsPerSwitch int      `json:"terms_per_switch"`
+	Edges          [][2]int `json:"edges"`
+}
+
+// WriteJSON serialises the network with each undirected edge listed once.
+func (r *RRN) WriteJSON(w io.Writer) error {
+	out := rrnJSON{N: r.N(), Degree: r.Degree, TermsPerSwitch: r.TermsPerSwitch}
+	for _, e := range r.G.Edges() {
+		out.Edges = append(out.Edges, [2]int{int(e.U), int(e.V)})
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// WriteDOT emits the switch graph in Graphviz DOT format.
+func (r *RRN) WriteDOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "graph rrn {")
+	fmt.Fprintln(bw, "  node [shape=circle, fontsize=10];")
+	for _, e := range r.G.Edges() {
+		fmt.Fprintf(bw, "  s%d -- s%d;\n", e.U, e.V)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// WriteEdgeList emits one "u v" line per undirected edge.
+func (r *RRN) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range r.G.Edges() {
+		if _, err := fmt.Fprintln(bw, e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ExportRRN writes r in the named format, mirroring Export for the direct
+// random topology.
+func ExportRRN(r *RRN, format string, w io.Writer) error {
+	switch format {
+	case "json":
+		return r.WriteJSON(w)
+	case "dot":
+		return r.WriteDOT(w)
+	case "edges":
+		return r.WriteEdgeList(w)
+	default:
+		return fmt.Errorf("topology: unknown export format %q (want json, dot or edges)", format)
+	}
+}

@@ -11,7 +11,9 @@
 #     report, with the merge throughput (MB/s of partial JSON) recorded, and
 #   - determinism lint gate: wall time of a full-tree rfclint run (the
 #     scripts/lint.sh CI step's dominant cost), from a prebuilt binary so
-#     compile time is excluded.
+#     compile time is excluded, and
+#   - serving layer: cached GET /v1/path throughput in req/sec through the
+#     full HTTP stack (BenchmarkCachedPath: in-process rfcd + Go client).
 #
 # Usage: scripts/bench.sh [reps] [cycles]
 set -eu
@@ -83,6 +85,12 @@ cps=$(go test -run '^$' -bench BenchmarkEngineCycles -benchtime 2s ./internal/si
 	awk '/cycles\/sec/ { print $(NF-1) }')
 : "${cps:?bench.sh: BenchmarkEngineCycles produced no cycles/sec metric}"
 
+# Serving layer: cached path-query throughput over HTTP (warm cache, so
+# this measures the route index + JSON + HTTP stack, not topology builds).
+rps=$(go test -run '^$' -bench BenchmarkCachedPath -benchtime 2s ./internal/service/ |
+	awk '/req\/sec/ { print $(NF-1) }')
+: "${rps:?bench.sh: BenchmarkCachedPath produced no req/sec metric}"
+
 append_point() { # $1 = JSON object line
 	if [ ! -f BENCH_engine.json ]; then
 		printf '[\n%s\n]\n' "$1" >BENCH_engine.json
@@ -104,8 +112,10 @@ append_point "  {\"date\": \"$date\", \"exhibit\": \"fig8\", \"reps\": $reps, \"
 append_point "  {\"date\": \"$date\", \"benchmark\": \"simcore-engine\", \"cycles_per_sec\": $cps}"
 append_point "  {\"date\": \"$date\", \"benchmark\": \"rfcmerge\", \"exhibit\": \"fig8\", \"shards\": 2, \"input_bytes\": $part_bytes, \"merge_s\": $merge_s, \"mb_per_sec\": $merge_mbps}"
 append_point "  {\"date\": \"$date\", \"benchmark\": \"rfclint\", \"packages\": $lint_pkgs, \"lint_s\": $lint_s}"
+append_point "  {\"date\": \"$date\", \"benchmark\": \"rfcd-path\", \"req_per_sec\": $rps}"
 
 echo "fig8 x$reps reps @ $cycles cycles: serial ${serial}s, parallel(${cores}) ${parallel}s, speedup ${speedup}x"
 echo "simcore engine: $cps simulated cycles/sec"
 echo "rfcmerge: 2 shards, $part_bytes bytes in ${merge_s}s (${merge_mbps} MB/s), byte-identical to unsharded"
 echo "rfclint: $lint_pkgs packages clean in ${lint_s}s"
+echo "rfcd: $rps cached /v1/path req/sec"
