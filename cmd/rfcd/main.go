@@ -16,8 +16,14 @@
 //
 // Usage:
 //
-//	rfcd -addr :8080 -cache 64
+//	rfcd -addr :8080 -cache 64 -cache-bytes 0 -dense-index-bytes 0
 //	rfcd -selfcheck        # in-process endpoint smoke test, used by CI
+//
+// Route indexes are tiered: topologies whose dense N1² turn table fits
+// -dense-index-bytes (default 64 MiB) get the O(1) dense table; larger ones
+// get the succinct exception-coded index, so there is no hard leaf-count cap.
+// -cache-bytes bounds the cache by estimated topology memory on top of the
+// -cache entry count; exports stream with chunked transfer encoding.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests.
@@ -40,9 +46,11 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		cacheSize = flag.Int("cache", 64, "topology cache capacity (LRU entries)")
-		selfcheck = flag.Bool("selfcheck", false, "run the endpoint smoke test against an in-process server and exit")
+		addr       = flag.String("addr", ":8080", "listen address")
+		cacheSize  = flag.Int("cache", 64, "topology cache capacity (LRU entries)")
+		cacheBytes = flag.Int64("cache-bytes", 0, "cache byte budget over estimated topology memory (0 = 8 GiB default, negative = unlimited)")
+		denseIndex = flag.Int("dense-index-bytes", 0, "largest dense route-index table in bytes before switching to the succinct tier (0 = 64 MiB default, negative = always dense)")
+		selfcheck  = flag.Bool("selfcheck", false, "run the endpoint smoke test against an in-process server and exit")
 	)
 	flag.Parse()
 
@@ -55,14 +63,19 @@ func main() {
 		return
 	}
 
-	if err := run(*addr, *cacheSize); err != nil {
+	opts := service.Options{
+		CacheSize:       *cacheSize,
+		CacheBytes:      *cacheBytes,
+		DenseIndexBytes: *denseIndex,
+	}
+	if err := run(*addr, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "rfcd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cacheSize int) error {
-	srv := service.New(service.Options{CacheSize: cacheSize})
+func run(addr string, opts service.Options) error {
+	srv := service.New(opts)
 	hs := &http.Server{
 		Addr:              addr,
 		Handler:           srv.Handler(),
@@ -74,7 +87,7 @@ func run(addr string, cacheSize int) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("rfcd: serving on %s (cache %d)\n", addr, cacheSize)
+		fmt.Printf("rfcd: serving on %s (cache %d)\n", addr, opts.CacheSize)
 		errc <- hs.ListenAndServe()
 	}()
 

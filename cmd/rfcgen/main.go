@@ -9,9 +9,11 @@
 //	rfcgen -topo rfc -radix 16 -format json > rfc.json
 //	rfcgen -topo rrn -n 128 -degree 8 -terms 4 -format dot
 //
-// -format uses the same encoders as the rfcd export endpoint
-// (GET /v1/topology/{key}/export), so offline and online exports of the
-// same build are byte-identical. -dot and -edges remain as shorthands.
+// -format uses the same streaming encoders as the rfcd export endpoint
+// (GET /v1/topology/{key}/export): output is produced edge-by-edge from the
+// topology's link iterators without materializing the edge list, so offline
+// and online exports of the same build are byte-identical at any scale.
+// -dot and -edges remain as shorthands.
 package main
 
 import (

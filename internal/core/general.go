@@ -119,6 +119,13 @@ func GenerateGeneral(p GeneralParams, r *rng.Rand) (*topology.Clos, error) {
 	if err != nil {
 		return nil, err
 	}
+	upDeg := make([]int, len(p.Sizes))
+	downDeg := make([]int, len(p.Sizes))
+	for i := 0; i < len(p.Sizes)-1; i++ {
+		upDeg[i] = p.UpDeg[i]
+		downDeg[i+1] = p.DownDeg(i)
+	}
+	c.ReserveDegrees(upDeg, downDeg)
 	for i := 0; i < len(p.Sizes)-1; i++ {
 		bp, err := graph.RandomBipartite(p.Sizes[i], p.UpDeg[i], p.Sizes[i+1], p.DownDeg(i), r)
 		if err != nil {

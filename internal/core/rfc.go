@@ -31,6 +31,15 @@ func Generate(p Params, r *rng.Rand) (*topology.Clos, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Every degree is fixed by the radix-regular shape, so adjacency
+	// storage is reserved in two arena allocations before wiring.
+	upDeg := make([]int, p.Levels)
+	downDeg := make([]int, p.Levels)
+	for i := 0; i < p.Levels-1; i++ {
+		upDeg[i] = half
+		downDeg[i+1] = sizes[i] * half / sizes[i+1]
+	}
+	c.ReserveDegrees(upDeg, downDeg)
 	for i := 0; i < p.Levels-1; i++ {
 		nA, nB := sizes[i], sizes[i+1]
 		dB := nA * half / nB // R/2 below the top pair, R at the top pair

@@ -7,7 +7,8 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"iter"
+	"slices"
 )
 
 // Graph is an undirected simple graph over vertices 0..N-1 stored as
@@ -90,22 +91,39 @@ func removeOne(list *[]int32, v int32) bool {
 type Edge struct{ U, V int32 }
 
 // Edges returns every edge exactly once, in canonical (U<=V, sorted) order.
+// Prefer EdgeSeq when the caller only iterates: this materialises the full
+// edge slice.
 func (g *Graph) Edges() []Edge {
 	es := make([]Edge, 0, g.m)
-	for u, ns := range g.adj {
-		for _, v := range ns {
-			if int32(u) <= v {
-				es = append(es, Edge{int32(u), v})
+	for e := range g.EdgeSeq() {
+		es = append(es, e)
+	}
+	return es
+}
+
+// EdgeSeq yields every edge exactly once in the same canonical order Edges
+// returns, buffering only one vertex's neighbour list at a time: for each u
+// ascending, the neighbours v >= u are sorted and emitted as (u, v). Since
+// the canonical order sorts by U first and V second, the concatenation of
+// these per-vertex runs is exactly the globally sorted order.
+func (g *Graph) EdgeSeq() iter.Seq[Edge] {
+	return func(yield func(Edge) bool) {
+		var buf []int32
+		for u, ns := range g.adj {
+			buf = buf[:0]
+			for _, v := range ns {
+				if int32(u) <= v {
+					buf = append(buf, v)
+				}
+			}
+			slices.Sort(buf)
+			for _, v := range buf {
+				if !yield(Edge{int32(u), v}) {
+					return
+				}
 			}
 		}
 	}
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].U != es[j].U {
-			return es[i].U < es[j].U
-		}
-		return es[i].V < es[j].V
-	})
-	return es
 }
 
 // Clone returns a deep copy of g.

@@ -1,0 +1,71 @@
+package routing
+
+import (
+	"testing"
+
+	"rfclos/internal/rng"
+)
+
+// naiveRank counts set bits in [0, i) one by one.
+func naiveRank(b Bitset, i int) int {
+	n := 0
+	for j := 0; j < i; j++ {
+		if b.Get(j) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestRankSelect pins Rank, Select, and RankDir.Rank against the naive
+// definitions on random bitsets spanning the word-boundary edge cases.
+func TestRankSelect(t *testing.T) {
+	r := rng.New(11)
+	for _, n := range []int{1, 7, 63, 64, 65, 200, 512, 513, 1000} {
+		for _, density := range []int{0, 3, 50, 100} {
+			b := NewBitset(n)
+			for i := 0; i < n; i++ {
+				if r.Intn(100) < density {
+					b.Set(i)
+				}
+			}
+			dir := NewRankDir(b)
+			if dir.Count() != b.Count() {
+				t.Fatalf("n=%d density=%d: RankDir.Count = %d, want %d", n, density, dir.Count(), b.Count())
+			}
+			if dir.SizeBytes() != 4*len(dir) {
+				t.Fatalf("RankDir.SizeBytes = %d, want %d", dir.SizeBytes(), 4*len(dir))
+			}
+			k := 0
+			for i := 0; i < n; i++ {
+				want := naiveRank(b, i)
+				if got := b.Rank(i); got != want {
+					t.Fatalf("n=%d density=%d: Rank(%d) = %d, want %d", n, density, i, got, want)
+				}
+				if got := dir.Rank(b, i); got != want {
+					t.Fatalf("n=%d density=%d: RankDir.Rank(%d) = %d, want %d", n, density, i, got, want)
+				}
+				if b.Get(i) {
+					if got := b.Select(k); got != i {
+						t.Fatalf("n=%d density=%d: Select(%d) = %d, want %d", n, density, k, got, i)
+					}
+					k++
+				}
+			}
+			if got := b.Select(k); got != -1 {
+				t.Fatalf("Select past last set bit = %d, want -1", got)
+			}
+		}
+	}
+}
+
+// TestNibbleAt pins the 4-bit packing order MinTurn decoding relies on.
+func TestNibbleAt(t *testing.T) {
+	codes := []uint8{0x21, 0xf3}
+	want := []uint8{1, 2, 3, 0xf}
+	for i, w := range want {
+		if got := nibbleAt(codes, i); got != w {
+			t.Fatalf("nibbleAt(%d) = %#x, want %#x", i, got, w)
+		}
+	}
+}

@@ -2,20 +2,64 @@ package routing
 
 import "math/bits"
 
-// MinTurnIndex is a precomputed up/down route index: for every ordered pair
-// of leaf switches it stores the minimal number of up hops (the "turn
-// level") of a shortest up/down path, i.e. the answer MinTurn computes from
-// the cover sets on every call. The index is built once per topology and is
-// immutable afterwards, so concurrent readers need no synchronisation — the
-// shape the serving layer (internal/service) wants for cached topologies
-// answering many path queries.
+// TurnIndex is a precomputed up/down route index: for every ordered pair of
+// leaf switches it answers the minimal number of up hops (the "turn level")
+// of a shortest up/down path, the quantity MinTurn computes from the cover
+// sets. Implementations are immutable after construction (the succinct tier
+// additionally promotes hot rows behind atomics), so concurrent readers need
+// no synchronisation — the shape the serving layer (internal/service) wants
+// for cached topologies answering many path queries.
 //
-// Memory is one byte per ordered leaf pair (N1^2 bytes); turnUnreachable
-// marks pairs with no up/down path (possible under faults or sub-threshold
-// radices).
+// Two tiers exist:
+//
+//   - MinTurnIndex: a dense N1×N1 byte table, O(1) lookups, N1² bytes;
+//   - SuccinctTurnIndex: per-leaf exception-coded rows over the majority
+//     turn value with rank/select lookup, O(levels) word operations per
+//     lookup and typically a few percent of the dense footprint.
+//
+// NewTurnIndex picks the tier from a byte budget for the dense table.
+type TurnIndex interface {
+	// MinTurn returns the minimal up-hop count of a shortest up/down path
+	// from leaf index src to leaf index dst, or -1 when no up/down path
+	// exists. Equivalent to (*UpDown).MinTurn.
+	MinTurn(src, dst int) int
+	// Leaves returns the number of leaf switches the index covers.
+	Leaves() int
+	// SizeBytes returns the index's own memory footprint (the succinct
+	// tier's grows as hot rows are promoted, up to its promotion budget).
+	SizeBytes() int
+	// Routable reports whether every ordered leaf pair has an up/down
+	// path. Precomputed at build time; O(1).
+	Routable() bool
+	// UnreachablePairs returns the number of ordered leaf pairs (src !=
+	// dst) without an up/down path. Precomputed at build time; O(1).
+	UnreachablePairs() int64
+	// Tier names the implementation: "dense" or "succinct".
+	Tier() string
+}
+
+// NewTurnIndex builds the turn index for u, choosing the tier by memory: the
+// dense byte table when it fits in denseBudget bytes (denseBudget <= 0 means
+// always dense), the succinct representation otherwise. The succinct tier's
+// hot-row promotion budget is also denseBudget, so the index never grows
+// past roughly twice the budget.
+func NewTurnIndex(u *UpDown, denseBudget int) TurnIndex {
+	n := u.n1
+	// The succinct tier packs turn values into nibbles, so topologies deeper
+	// than 15 levels (none the paper considers) stay on the dense table.
+	if denseBudget <= 0 || n*n <= denseBudget || len(u.cover)-1 > maxSuccinctTurn {
+		return NewMinTurnIndex(u)
+	}
+	return NewSuccinctTurnIndex(u, int64(denseBudget))
+}
+
+// MinTurnIndex is the dense TurnIndex tier: one byte per ordered leaf pair
+// (N1² bytes), O(1) lookups. turnUnreachable marks pairs with no up/down
+// path (possible under faults or sub-threshold radices).
 type MinTurnIndex struct {
-	n     int
-	turns []uint8
+	n           int
+	turns       []uint8
+	unreachable int64 // ordered pairs without a path, counted at build
 }
 
 // turnUnreachable is the sentinel for leaf pairs without an up/down path.
@@ -35,6 +79,7 @@ func NewMinTurnIndex(u *UpDown) *MinTurnIndex {
 	for src := 0; src < n; src++ {
 		row := ix.turns[src*n : (src+1)*n]
 		row[src] = 0
+		filled := 1
 		s := u.c.SwitchID(1, src)
 		for r := 1; r < len(u.cover) && r < turnUnreachable; r++ {
 			cov := u.cover[r][s]
@@ -48,10 +93,12 @@ func NewMinTurnIndex(u *UpDown) *MinTurnIndex {
 					dst := wi<<6 + b
 					if dst < n && row[dst] == turnUnreachable {
 						row[dst] = uint8(r)
+						filled++
 					}
 				}
 			}
 		}
+		ix.unreachable += int64(n - filled)
 	}
 	return ix
 }
@@ -74,12 +121,12 @@ func (ix *MinTurnIndex) Leaves() int { return ix.n }
 func (ix *MinTurnIndex) SizeBytes() int { return len(ix.turns) }
 
 // Routable reports whether every ordered leaf pair has an up/down path,
-// equivalent to (*UpDown).Routable but read off the precomputed table.
-func (ix *MinTurnIndex) Routable() bool {
-	for _, t := range ix.turns {
-		if t == turnUnreachable {
-			return false
-		}
-	}
-	return true
-}
+// equivalent to (*UpDown).Routable but precomputed at build time.
+func (ix *MinTurnIndex) Routable() bool { return ix.unreachable == 0 }
+
+// UnreachablePairs returns the number of ordered leaf pairs without an
+// up/down path, counted once during construction.
+func (ix *MinTurnIndex) UnreachablePairs() int64 { return ix.unreachable }
+
+// Tier names the dense implementation.
+func (ix *MinTurnIndex) Tier() string { return "dense" }

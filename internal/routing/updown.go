@@ -42,6 +42,21 @@ func New(c *topology.Clos) *UpDown {
 // Clos returns the topology this router routes on.
 func (u *UpDown) Clos() *topology.Clos { return u.c }
 
+// SizeBytes returns the memory footprint of the routing state's descendant
+// and cover bitsets (the dominant cost; slice headers included, the
+// underlying topology excluded). The serving layer charges this against its
+// cache budget.
+func (u *UpDown) SizeBytes() int {
+	n := 0
+	for _, level := range u.cover {
+		n += 24 * len(level)
+		for _, b := range level {
+			n += 8 * len(b)
+		}
+	}
+	return n
+}
+
 // Rebuild recomputes every descendant and cover set from the topology.
 func (u *UpDown) Rebuild() {
 	c := u.c

@@ -21,27 +21,40 @@ type Cache struct {
 	build func(Spec) (*Topology, error)
 	reg   *Registry
 
-	mu     sync.Mutex
-	cap    int
-	ll     *list.List // front = most recently used; values are *cacheEntry
-	items  map[string]*list.Element
-	builds map[string]int64 // per-key build starts, for tests and selfcheck
+	mu       sync.Mutex
+	cap      int
+	maxBytes int64      // byte budget over MemBytes costs; <= 0 = unlimited
+	bytes    int64      // sum of ready entries' costs
+	ll       *list.List // front = most recently used; values are *cacheEntry
+	items    map[string]*list.Element
+	builds   map[string]int64 // per-key build starts, for tests and selfcheck
 }
 
 type cacheEntry struct {
 	key   string
 	ready chan struct{} // closed when topo/err are final
 	done  bool          // guarded by Cache.mu; true once ready is closed
+	cost  int64         // MemBytes at insertion; guarded by Cache.mu
 	topo  *Topology
 	err   error
 }
 
-// NewCache returns a cache holding up to capacity ready builds, building
-// misses with build (nil means the package-level Build). reg, when non-nil,
-// receives hit/miss/eviction/build counters and build+index timings.
-func NewCache(capacity int, build func(Spec) (*Topology, error), reg *Registry) *Cache {
+// DefaultCacheBytes is the default cache byte budget (8 GiB): enough for a
+// handful of ≥64K-leaf builds (whose routing state runs to gigabytes) while
+// bounding rfcd's resident set.
+const DefaultCacheBytes = 8 << 30
+
+// NewCache returns a cache holding up to capacity ready builds totalling at
+// most maxBytes of estimated topology memory (0 means DefaultCacheBytes,
+// negative means unlimited), building misses with build (nil means the
+// package-level Build). reg, when non-nil, receives hit/miss/eviction/build
+// counters, build+index timings, and the resident-byte gauge.
+func NewCache(capacity int, maxBytes int64, build func(Spec) (*Topology, error), reg *Registry) *Cache {
 	if capacity <= 0 {
 		capacity = 64
+	}
+	if maxBytes == 0 {
+		maxBytes = DefaultCacheBytes
 	}
 	if build == nil {
 		build = Build
@@ -50,12 +63,13 @@ func NewCache(capacity int, build func(Spec) (*Topology, error), reg *Registry) 
 		reg = NewRegistry()
 	}
 	return &Cache{
-		build:  build,
-		reg:    reg,
-		cap:    capacity,
-		ll:     list.New(),
-		items:  map[string]*list.Element{},
-		builds: map[string]int64{},
+		build:    build,
+		reg:      reg,
+		cap:      capacity,
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    map[string]*list.Element{},
+		builds:   map[string]int64{},
 	}
 }
 
@@ -104,6 +118,13 @@ func (c *Cache) Get(sp Spec) (*Topology, bool, error) {
 			c.ll.Remove(el)
 			delete(c.items, key)
 		}
+	} else {
+		// Charge the finished build against the byte budget (the cost is
+		// measured once, at insertion) and evict down to it.
+		e.cost = topo.MemBytes()
+		c.bytes += e.cost
+		c.reg.Add(metricCacheBytes, e.cost)
+		c.evictLocked()
 	}
 	c.mu.Unlock()
 	close(e.ready)
@@ -130,23 +151,36 @@ func (c *Cache) Lookup(key string) (*Topology, bool) {
 	return e.topo, true
 }
 
-// evictLocked trims the LRU tail down to capacity, skipping entries whose
-// builds are still in flight (their requesters hold the entry pointer; the
-// map must keep pointing at it so concurrent requests dedupe onto it).
-// Callers must hold c.mu.
+// evictLocked trims the LRU tail until both the entry-count capacity and
+// the byte budget are respected. It skips entries whose builds are still in
+// flight (their requesters hold the entry pointer; the map must keep
+// pointing at it so concurrent requests dedupe onto it) and never evicts
+// the front (most recently used) entry — a build larger than the whole
+// budget still serves the request that produced it and is evicted when the
+// next build lands. Callers must hold c.mu.
 func (c *Cache) evictLocked() {
-	over := len(c.items) - c.cap
-	for el := c.ll.Back(); over > 0 && el != nil; {
+	for el := c.ll.Back(); el != nil && el != c.ll.Front(); {
+		if len(c.items) <= c.cap && (c.maxBytes < 0 || c.bytes <= c.maxBytes) {
+			return
+		}
 		prev := el.Prev()
 		e := el.Value.(*cacheEntry)
 		if e.done {
 			c.ll.Remove(el)
 			delete(c.items, e.key)
+			c.bytes -= e.cost
+			c.reg.Add(metricCacheBytes, -e.cost)
 			c.reg.Add(metricCacheEvictions, 1)
-			over--
 		}
 		el = prev
 	}
+}
+
+// Bytes returns the estimated resident bytes of ready cached builds.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }
 
 // Len returns the number of cached (ready or in-flight) entries.

@@ -24,7 +24,7 @@ func TestCacheSingleflight(t *testing.T) {
 		<-gate
 		return Build(sp)
 	}
-	c := NewCache(8, build, nil)
+	c := NewCache(8, 0, build, nil)
 	const waiters = 32
 	var wg sync.WaitGroup
 	results := make([]*Topology, waiters)
@@ -71,7 +71,7 @@ func mustNormalize(t *testing.T, sp Spec) Spec {
 // ready entries are evicted while recently used ones survive.
 func TestCacheLRUEviction(t *testing.T) {
 	reg := NewRegistry()
-	c := NewCache(2, nil, reg)
+	c := NewCache(2, 0, nil, reg)
 	keys := make([]string, 3)
 	for i := 0; i < 2; i++ {
 		topo, cached, err := c.Get(stubSpec(i))
@@ -117,7 +117,7 @@ func TestCacheBuildErrorsNotCached(t *testing.T) {
 		builds.Add(1)
 		return nil, fail
 	}
-	c := NewCache(4, build, nil)
+	c := NewCache(4, 0, build, nil)
 	for i := 0; i < 2; i++ {
 		if _, _, err := c.Get(stubSpec(0)); !errors.Is(err, fail) {
 			t.Fatalf("Get %d error = %v, want %v", i, err, fail)
@@ -134,7 +134,7 @@ func TestCacheBuildErrorsNotCached(t *testing.T) {
 // TestCacheRejectsInvalidSpec checks Normalize errors surface without
 // touching the cache.
 func TestCacheRejectsInvalidSpec(t *testing.T) {
-	c := NewCache(4, nil, nil)
+	c := NewCache(4, 0, nil, nil)
 	bad := []Spec{
 		{},
 		{Kind: "nope"},
@@ -176,5 +176,56 @@ func TestSpecCanonicalization(t *testing.T) {
 	}
 	if len(d.Key()) != 16 {
 		t.Errorf("key %q is not 16 hex chars", d.Key())
+	}
+}
+
+// TestCacheByteBudget checks memory-aware eviction: entries are evicted
+// from the LRU tail until the MemBytes sum fits the byte budget, and the
+// most recently used entry always survives, even when it alone exceeds the
+// budget.
+func TestCacheByteBudget(t *testing.T) {
+	one, err := Build(mustNormalize(t, stubSpec(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := one.MemBytes()
+	if cost <= 0 {
+		t.Fatalf("MemBytes() = %d, want > 0", cost)
+	}
+
+	budget := 2*cost + cost/2 // room for two builds, not three
+	c := NewCache(100, budget, nil, nil)
+	for i := 0; i < 5; i++ {
+		if _, _, err := c.Get(stubSpec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.Len(); n != 2 {
+		t.Fatalf("Len() = %d after 5 builds under a 2-build byte budget, want 2", n)
+	}
+	if b := c.Bytes(); b > budget {
+		t.Fatalf("Bytes() = %d > budget %d", b, budget)
+	}
+	if got := c.reg.Value(metricCacheBytes); got != c.Bytes() {
+		t.Fatalf("%s gauge = %d, cache reports %d", metricCacheBytes, got, c.Bytes())
+	}
+
+	// A build over the whole budget still lands (front entry is never
+	// evicted) and is replaced by the next build.
+	tiny := NewCache(100, 1, nil, nil)
+	if _, _, err := tiny.Get(stubSpec(0)); err != nil {
+		t.Fatal(err)
+	}
+	if n := tiny.Len(); n != 1 {
+		t.Fatalf("Len() = %d, want 1 (over-budget MRU entry must survive)", n)
+	}
+	if _, _, err := tiny.Get(stubSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	if n := tiny.Len(); n != 1 {
+		t.Fatalf("Len() = %d after second build, want 1 (old entry evicted)", n)
+	}
+	if _, cached, err := tiny.Get(stubSpec(1)); err != nil || !cached {
+		t.Fatalf("MRU entry not served from cache (cached=%v, err=%v)", cached, err)
 	}
 }

@@ -55,6 +55,9 @@ func Selfcheck(out io.Writer) error {
 	if !first.Routable {
 		return fmt.Errorf("build %s not routable", first.Canonical)
 	}
+	if first.IndexTier != "dense" {
+		return fmt.Errorf("index tier for the %d-leaf build = %q, want dense", first.IndexLeaves, first.IndexTier)
+	}
 	second, err := c.Build(ctx, sp)
 	if err != nil {
 		return fmt.Errorf("rebuild: %w", err)

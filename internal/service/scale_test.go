@@ -1,0 +1,100 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"rfclos/internal/rng"
+)
+
+// scaleSpec is the ≥64K-leaf acceptance topology: a 3-level XGFT with
+// N1 = 65536 leaves, N2 = 1024, N3 = 8 (66568 switches). Its dense turn
+// table would be N1² = 4 GiB; the succinct tier indexes it in tens of
+// megabytes.
+func scaleSpec() Spec {
+	return Spec{Kind: "xgft", M: []int{4, 256, 256}, W: []int{1, 4, 2}, Radix: 258}
+}
+
+// TestLargeTopologySuccinctServing is the scale acceptance test: a 64K-leaf
+// topology builds, gets a succinct index at ≤ 10% of the dense footprint
+// (asserted via SizeBytes), and answers GET /v1/path through rfcd's handler
+// stack — all without the dense N1² table. It allocates ~2 GiB and runs for
+// tens of seconds, so it is skipped under -short; CI runs it as a dedicated
+// smoke step under GOMEMLIMIT.
+func TestLargeTopologySuccinctServing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-topology smoke test skipped in -short mode")
+	}
+	srv := New(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, err := json.Marshal(scaleSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/topology", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum TopologySummary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/topology: status %d", resp.StatusCode)
+	}
+	if sum.IndexLeaves != 65536 {
+		t.Fatalf("IndexLeaves = %d, want 65536", sum.IndexLeaves)
+	}
+	if sum.IndexTier != "succinct" {
+		t.Fatalf("IndexTier = %q, want succinct (dense table must not build at 64K leaves)", sum.IndexTier)
+	}
+	dense := int64(sum.IndexLeaves) * int64(sum.IndexLeaves)
+	if int64(sum.IndexBytes)*10 > dense {
+		t.Fatalf("IndexBytes = %d, want <= 10%% of the dense equivalent %d", sum.IndexBytes, dense)
+	}
+	if !sum.Routable {
+		t.Fatal("the XGFT must be routable")
+	}
+
+	// Path query through the full handler stack, leaf 0 to the last leaf.
+	resp, err = http.Get(ts.URL + "/v1/path?key=" + sum.Key + "&src=0&dst=65535")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr PathResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/path: status %d", resp.StatusCode)
+	}
+	if !pr.Routable || pr.MinTurn == nil || *pr.MinTurn <= 0 {
+		t.Fatalf("path 0->65535 not served: %+v", pr)
+	}
+	if len(pr.Path) != 2**pr.MinTurn+1 {
+		t.Fatalf("path length %d, want %d for turn %d", len(pr.Path), 2**pr.MinTurn+1, *pr.MinTurn)
+	}
+
+	// Sampled same-answers check at scale: the succinct index must agree
+	// with the cover-set computation on random pairs (the exhaustive
+	// dense-vs-succinct property runs at small scale in internal/routing).
+	topo, ok := srv.Cache().Lookup(sum.Key)
+	if !ok {
+		t.Fatal("built topology missing from cache")
+	}
+	r := rng.New(123)
+	n := topo.Index.Leaves()
+	for i := 0; i < 2000; i++ {
+		src, dst := r.Intn(n), r.Intn(n)
+		if got, want := topo.Index.MinTurn(src, dst), topo.Router.MinTurn(src, dst); got != want {
+			t.Fatalf("MinTurn(%d, %d) = %d, cover sets say %d", src, dst, got, want)
+		}
+	}
+}

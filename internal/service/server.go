@@ -18,6 +18,15 @@ type Options struct {
 	// CacheSize is the maximum number of ready topology builds retained
 	// (LRU). 0 means the default (64).
 	CacheSize int
+	// CacheBytes is the byte budget over the cached builds' estimated
+	// memory (adjacency + routing state + turn index). 0 means the default
+	// (DefaultCacheBytes, 8 GiB); negative means unlimited.
+	CacheBytes int64
+	// DenseIndexBytes is the dense turn-table budget per build: topologies
+	// whose N1² table fits get the O(1) dense tier, larger ones the
+	// succinct tier. 0 means the default (DefaultDenseIndexBytes, 64 MiB);
+	// negative means always dense.
+	DenseIndexBytes int
 }
 
 // Server is the rfcd request handler: the topology cache plus the HTTP/JSON
@@ -31,8 +40,13 @@ type Server struct {
 // New returns a ready-to-serve Server.
 func New(opts Options) *Server {
 	reg := NewRegistry()
+	denseBudget := opts.DenseIndexBytes
+	if denseBudget == 0 {
+		denseBudget = DefaultDenseIndexBytes
+	}
+	build := func(sp Spec) (*Topology, error) { return BuildIndexed(sp, denseBudget) }
 	s := &Server{
-		cache: NewCache(opts.CacheSize, nil, reg),
+		cache: NewCache(opts.CacheSize, opts.CacheBytes, build, reg),
 		reg:   reg,
 		mux:   http.NewServeMux(),
 	}
@@ -113,10 +127,13 @@ type TopologySummary struct {
 	Wires     int    `json:"wires"`
 	Routable  bool   `json:"routable"`
 	Attempts  int    `json:"attempts,omitempty"`
-	// IndexLeaves/IndexBytes describe the precomputed up/down route index
-	// (folded Clos kinds under the indexing size cap).
-	IndexLeaves int `json:"index_leaves,omitempty"`
-	IndexBytes  int `json:"index_bytes,omitempty"`
+	// IndexLeaves/IndexBytes/IndexTier describe the precomputed up/down
+	// route index of folded Clos kinds: tier "dense" is the O(1)-lookup N1²
+	// table, "succinct" the exception-coded representation for large N1
+	// (absent above maxSuccinctLeaves, where queries use cover sets).
+	IndexLeaves int    `json:"index_leaves,omitempty"`
+	IndexBytes  int    `json:"index_bytes,omitempty"`
+	IndexTier   string `json:"index_tier,omitempty"`
 	// Theorem 4.2 placement, rfc only.
 	XParam         *float64 `json:"x_param,omitempty"`
 	ThresholdRadix *float64 `json:"threshold_radix,omitempty"`
@@ -143,6 +160,7 @@ func (s *Server) summarize(t *Topology, cached bool) TopologySummary {
 	if t.Index != nil {
 		sum.IndexLeaves = t.Index.Leaves()
 		sum.IndexBytes = t.Index.SizeBytes()
+		sum.IndexTier = t.Index.Tier()
 	}
 	if t.Spec.Kind == "rfc" {
 		x := core.XParam(t.Spec.Radix, t.Spec.Leaves, t.Spec.Levels)
@@ -183,6 +201,31 @@ func (s *Server) lookup(w http.ResponseWriter, key string) (*Topology, bool) {
 	return t, true
 }
 
+// exportFlushBytes is how much export output accumulates before the
+// response is flushed to the client. Flushing forces chunked transfer
+// encoding and bounds server-side buffering, so a multi-GB export streams
+// instead of materialising: the encoders write straight from EdgeSeq and
+// this handler pushes the bytes out every quarter megabyte.
+const exportFlushBytes = 256 << 10
+
+// flushingWriter counts bytes written and flushes the underlying
+// ResponseWriter every exportFlushBytes.
+type flushingWriter struct {
+	w       http.ResponseWriter
+	f       http.Flusher // nil when the writer cannot flush
+	pending int
+}
+
+func (fw *flushingWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	fw.pending += n
+	if fw.f != nil && fw.pending >= exportFlushBytes {
+		fw.f.Flush()
+		fw.pending = 0
+	}
+	return n, err
+}
+
 func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	t, ok := s.lookup(w, r.PathValue("key"))
 	if !ok {
@@ -196,13 +239,16 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	if format == "json" {
 		ct = "application/json"
 	}
+	w.Header().Set("Content-Type", ct)
+	fw := &flushingWriter{w: w}
+	if f, ok := w.(http.Flusher); ok {
+		fw.f = f
+	}
 	var err error
 	if t.RRN != nil {
-		w.Header().Set("Content-Type", ct)
-		err = topology.ExportRRN(t.RRN, format, w)
+		err = topology.ExportRRN(t.RRN, format, fw)
 	} else {
-		w.Header().Set("Content-Type", ct)
-		err = topology.Export(t.Clos, format, w)
+		err = topology.Export(t.Clos, format, fw)
 	}
 	if err != nil {
 		// Headers may already be out for a streaming failure; for an unknown

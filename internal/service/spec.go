@@ -54,10 +54,17 @@ type Spec struct {
 // memory; the paper's largest scenario (200K terminals) is well within it.
 const maxSwitches = 1 << 21
 
-// maxIndexedLeaves bounds the leaf count for which the O(N1^2)-byte
-// MinTurnIndex is precomputed (4096 leaves = 16 MiB). Larger topologies
-// still serve paths through the cover-set MinTurn, which is O(levels).
-const maxIndexedLeaves = 4096
+// DefaultDenseIndexBytes is the default byte budget for the dense turn
+// table: topologies whose N1² table fits in it get the O(1)-lookup dense
+// tier (64 MiB = 8192 leaves); larger ones get the succinct tier. The old
+// hard 4096-leaf indexing cap is gone — tier selection replaced it.
+const DefaultDenseIndexBytes = 64 << 20
+
+// maxSuccinctLeaves bounds the leaf count for which even the succinct index
+// is precomputed: its build walks O(levels·N1²/64) words, which at 128K
+// leaves is a few seconds of CPU. Beyond it, path queries fall back to the
+// cover-set MinTurn, which is O(levels) per query with no precomputation.
+const maxSuccinctLeaves = 1 << 17
 
 // Normalize validates sp, fills kind-specific defaults and canonicalises
 // fields that do not affect the build (the seed of deterministic kinds),
@@ -166,7 +173,10 @@ type Topology struct {
 	// Folded Clos kinds (rfc, cft, kary, oft, xgft).
 	Clos   *topology.Clos
 	Router *routing.UpDown
-	Index  *routing.MinTurnIndex // nil when Leaves > maxIndexedLeaves
+	// Index is the precomputed turn index: the dense tier when the N1²
+	// table fits the build's dense-index budget, the succinct tier up to
+	// maxSuccinctLeaves, nil beyond that (queries use Router.MinTurn).
+	Index routing.TurnIndex
 
 	// rrn only.
 	RRN *topology.RRN
@@ -181,10 +191,19 @@ type Topology struct {
 	IndexNS int64
 }
 
-// Build constructs the topology a normalized spec describes. The network is
-// a pure function of the spec — the same spec always yields an identical
-// network; only the BuildNS/IndexNS timing fields vary between runs.
+// Build constructs the topology a normalized spec describes with the
+// default dense-index budget. The network is a pure function of the spec —
+// the same spec always yields an identical network; only the
+// BuildNS/IndexNS timing fields vary between runs.
 func Build(sp Spec) (*Topology, error) {
+	return BuildIndexed(sp, DefaultDenseIndexBytes)
+}
+
+// BuildIndexed is Build with an explicit dense-index byte budget: folded
+// Clos topologies whose N1² turn table fits in denseIndexBytes carry the
+// dense tier, larger ones (up to maxSuccinctLeaves) the succinct tier.
+// denseIndexBytes <= 0 means the dense table is always used.
+func BuildIndexed(sp Spec, denseIndexBytes int) (*Topology, error) {
 	start := time.Now()
 	t := &Topology{Key: sp.Key(), Canon: sp.Canonical(), Spec: sp}
 	var err error
@@ -224,9 +243,9 @@ func Build(sp Spec) (*Topology, error) {
 			t.Router = routing.New(t.Clos)
 			t.Routable = t.Router.Routable()
 		}
-		if t.Clos.LevelSize(1) <= maxIndexedLeaves {
+		if t.Clos.LevelSize(1) <= maxSuccinctLeaves {
 			ixStart := time.Now()
-			t.Index = routing.NewMinTurnIndex(t.Router)
+			t.Index = routing.NewTurnIndex(t.Router, denseIndexBytes)
 			t.IndexNS = time.Since(ixStart).Nanoseconds()
 		}
 	}
@@ -256,4 +275,23 @@ func (t *Topology) Wires() int {
 		return t.RRN.Wires()
 	}
 	return t.Clos.Wires()
+}
+
+// MemBytes estimates the resident cost of the cached build: adjacency lists
+// (two int32 endpoints per wire plus slice headers), the router's cover
+// bitsets, and the turn index. The cache charges this against its byte
+// budget, so one huge build evicts many small ones rather than none.
+func (t *Topology) MemBytes() int64 {
+	const sliceHeader = 24
+	if t.RRN != nil {
+		return int64(t.RRN.Wires())*8 + int64(t.RRN.N())*sliceHeader
+	}
+	n := int64(t.Clos.Wires())*8 + int64(t.Clos.NumSwitches())*2*sliceHeader
+	if t.Router != nil {
+		n += int64(t.Router.SizeBytes())
+	}
+	if t.Index != nil {
+		n += int64(t.Index.SizeBytes())
+	}
+	return n
 }

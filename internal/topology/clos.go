@@ -143,13 +143,13 @@ func removeOne(list *[]int32, v int32) bool {
 // Link is a directed-by-level link: A is at level i, B at level i+1.
 type Link struct{ A, B int32 }
 
-// Links returns every inter-switch link exactly once.
+// Links returns every inter-switch link exactly once, materialised from
+// EdgeSeq in the same order. Prefer EdgeSeq/LinkSeq when the caller only
+// iterates: this allocates the full edge slice.
 func (c *Clos) Links() []Link {
-	var out []Link
-	for s := range c.up {
-		for _, b := range c.up[s] {
-			out = append(out, Link{int32(s), b})
-		}
+	out := make([]Link, 0, c.Wires())
+	for l := range c.EdgeSeq() {
+		out = append(out, l)
 	}
 	return out
 }
@@ -172,21 +172,37 @@ func (c *Clos) NetworkPorts() int { return 2 * c.Wires() }
 // terminal-facing ports. Figure 7 plots this as the raw cost measure.
 func (c *Clos) TotalPorts() int { return c.NetworkPorts() + c.Terminals() }
 
-// Clone returns a deep copy (used by destructive fault sweeps).
+// Clone returns a deep copy (used by destructive fault sweeps). Adjacency
+// lists are copied into two shared arenas — two allocations instead of two
+// per switch, which matters when fault sweeps clone million-switch builds.
 func (c *Clos) Clone() *Clos {
 	cp := &Clos{
 		Radix:        c.Radix,
 		TermsPerLeaf: c.TermsPerLeaf,
 		levelSize:    append([]int(nil), c.levelSize...),
 		offset:       append([]int32(nil), c.offset...),
-		up:           make([][]int32, len(c.up)),
-		down:         make([][]int32, len(c.down)),
-	}
-	for i := range c.up {
-		cp.up[i] = append([]int32(nil), c.up[i]...)
-		cp.down[i] = append([]int32(nil), c.down[i]...)
+		up:           cloneArena(c.up),
+		down:         cloneArena(c.down),
 	}
 	return cp
+}
+
+// cloneArena deep-copies adjacency lists into one backing array with each
+// sub-slice capacity-pinned, so later RemoveLink/AddLink on the clone cannot
+// touch a neighbour's region.
+func cloneArena(lists [][]int32) [][]int32 {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	arena := make([]int32, 0, total)
+	out := make([][]int32, len(lists))
+	for i, l := range lists {
+		pos := len(arena)
+		arena = append(arena, l...)
+		out[i] = arena[pos:len(arena):len(arena)]
+	}
+	return out
 }
 
 // SwitchGraph returns the undirected switch-to-switch graph, the object the

@@ -2,9 +2,9 @@ package topology
 
 import (
 	"bufio"
-	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 )
 
 // This file is the single topology export encoder shared by the offline
@@ -32,7 +32,8 @@ func Export(c *Clos, format string, w io.Writer) error {
 }
 
 // rrnJSON is the on-disk schema for a random regular network, mirroring
-// closJSON: parameters plus an explicit edge list.
+// closJSON: parameters plus an explicit edge list. As with closJSON, the
+// struct is the decode side; WriteJSON streams the identical encoding.
 type rrnJSON struct {
 	N              int      `json:"n"`
 	Degree         int      `json:"degree"`
@@ -40,34 +41,54 @@ type rrnJSON struct {
 	Edges          [][2]int `json:"edges"`
 }
 
-// WriteJSON serialises the network with each undirected edge listed once.
+// WriteJSON serialises the network with each undirected edge listed once,
+// streamed in the canonical Edges order. An edgeless network emits
+// "edges":[] (not null), keeping the schema's array type stable.
 func (r *RRN) WriteJSON(w io.Writer) error {
-	out := rrnJSON{N: r.N(), Degree: r.Degree, TermsPerSwitch: r.TermsPerSwitch}
-	for _, e := range r.G.Edges() {
-		out.Edges = append(out.Edges, [2]int{int(e.U), int(e.V)})
+	bw := bufio.NewWriterSize(w, 1<<16)
+	buf := make([]byte, 0, 32)
+	bw.WriteString(`{"n":`)
+	bw.Write(strconv.AppendInt(buf, int64(r.N()), 10))
+	bw.WriteString(`,"degree":`)
+	bw.Write(strconv.AppendInt(buf, int64(r.Degree), 10))
+	bw.WriteString(`,"terms_per_switch":`)
+	bw.Write(strconv.AppendInt(buf, int64(r.TermsPerSwitch), 10))
+	bw.WriteString(`,"edges":[`)
+	first := true
+	for e := range r.G.EdgeSeq() {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		buf = append(buf[:0], '[')
+		buf = strconv.AppendInt(buf, int64(e.U), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(e.V), 10)
+		buf = append(buf, ']')
+		bw.Write(buf)
 	}
-	return json.NewEncoder(w).Encode(out)
+	bw.WriteString("]}\n")
+	return bw.Flush()
 }
 
-// WriteDOT emits the switch graph in Graphviz DOT format.
+// WriteDOT emits the switch graph in Graphviz DOT format, streamed edge by
+// edge.
 func (r *RRN) WriteDOT(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, "graph rrn {")
 	fmt.Fprintln(bw, "  node [shape=circle, fontsize=10];")
-	for _, e := range r.G.Edges() {
-		fmt.Fprintf(bw, "  s%d -- s%d;\n", e.U, e.V)
+	for e := range r.G.EdgeSeq() {
+		writeDOTEdge(bw, int64(e.U), int64(e.V))
 	}
 	fmt.Fprintln(bw, "}")
 	return bw.Flush()
 }
 
-// WriteEdgeList emits one "u v" line per undirected edge.
+// WriteEdgeList emits one "u v" line per undirected edge, streamed.
 func (r *RRN) WriteEdgeList(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	for _, e := range r.G.Edges() {
-		if _, err := fmt.Fprintln(bw, e.U, e.V); err != nil {
-			return err
-		}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for e := range r.G.EdgeSeq() {
+		writeEdgeLine(bw, int64(e.U), int64(e.V))
 	}
 	return bw.Flush()
 }

@@ -5,10 +5,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 )
 
 // closJSON is the on-disk schema for a folded Clos network. Links are
-// stored as [lower, upper] global switch id pairs.
+// stored as [lower, upper] global switch id pairs. WriteJSON streams the
+// same schema by hand (its output is pinned byte-identical to
+// encoding/json's by TestStreamedExportGoldens); this struct remains the
+// decode side.
 type closJSON struct {
 	Radix        int      `json:"radix"`
 	TermsPerLeaf int      `json:"terms_per_leaf"`
@@ -16,19 +20,41 @@ type closJSON struct {
 	Links        [][2]int `json:"links"`
 }
 
-// WriteJSON serialises the network. The format round-trips through
-// ReadJSON and is stable for storage and interchange.
+// WriteJSON serialises the network, streaming links from EdgeSeq so memory
+// stays constant regardless of topology size. The format round-trips
+// through ReadJSON and is stable for storage and interchange; output is
+// byte-identical to encoding/json's compact encoding of closJSON (with
+// "links":[] rather than null for the degenerate edgeless case).
 func (c *Clos) WriteJSON(w io.Writer) error {
-	out := closJSON{
-		Radix:        c.Radix,
-		TermsPerLeaf: c.TermsPerLeaf,
-		LevelSizes:   append([]int(nil), c.levelSize...),
+	bw := bufio.NewWriterSize(w, 1<<16)
+	buf := make([]byte, 0, 32)
+	bw.WriteString(`{"radix":`)
+	bw.Write(strconv.AppendInt(buf, int64(c.Radix), 10))
+	bw.WriteString(`,"terms_per_leaf":`)
+	bw.Write(strconv.AppendInt(buf, int64(c.TermsPerLeaf), 10))
+	bw.WriteString(`,"level_sizes":[`)
+	for i, n := range c.levelSize {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.Write(strconv.AppendInt(buf, int64(n), 10))
 	}
-	for _, l := range c.Links() {
-		out.Links = append(out.Links, [2]int{int(l.A), int(l.B)})
+	bw.WriteString(`],"links":[`)
+	first := true
+	for l := range c.EdgeSeq() {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		buf = append(buf[:0], '[')
+		buf = strconv.AppendInt(buf, int64(l.A), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(l.B), 10)
+		buf = append(buf, ']')
+		bw.Write(buf)
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	bw.WriteString("]}\n")
+	return bw.Flush()
 }
 
 // ReadJSON deserialises a network written by WriteJSON, validating its
@@ -75,21 +101,42 @@ func (c *Clos) WriteDOT(w io.Writer) error {
 		}
 		fmt.Fprintln(bw, " }")
 	}
-	for _, l := range c.Links() {
-		fmt.Fprintf(bw, "  s%d -- s%d;\n", l.A, l.B)
+	for l := range c.EdgeSeq() {
+		writeDOTEdge(bw, int64(l.A), int64(l.B))
 	}
 	fmt.Fprintln(bw, "}")
 	return bw.Flush()
 }
 
 // WriteEdgeList emits one "a b" line per link (lower id first), a format
-// digestible by standard graph tooling.
+// digestible by standard graph tooling, streamed from EdgeSeq.
 func (c *Clos) WriteEdgeList(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	for _, l := range c.Links() {
-		if _, err := fmt.Fprintln(bw, l.A, l.B); err != nil {
-			return err
-		}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for l := range c.EdgeSeq() {
+		writeEdgeLine(bw, int64(l.A), int64(l.B))
 	}
 	return bw.Flush()
+}
+
+// writeEdgeLine appends "a b\n" (the fmt.Fprintln(w, a, b) encoding) without
+// fmt's reflection cost — edge lists dominate large exports.
+func writeEdgeLine(bw *bufio.Writer, a, b int64) {
+	var buf [24]byte
+	out := strconv.AppendInt(buf[:0], a, 10)
+	out = append(out, ' ')
+	out = strconv.AppendInt(out, b, 10)
+	out = append(out, '\n')
+	bw.Write(out)
+}
+
+// writeDOTEdge appends "  sA -- sB;\n", the per-link line of the DOT
+// encoders.
+func writeDOTEdge(bw *bufio.Writer, a, b int64) {
+	var buf [32]byte
+	out := append(buf[:0], ' ', ' ', 's')
+	out = strconv.AppendInt(out, a, 10)
+	out = append(out, ' ', '-', '-', ' ', 's')
+	out = strconv.AppendInt(out, b, 10)
+	out = append(out, ';', '\n')
+	bw.Write(out)
 }

@@ -1,0 +1,108 @@
+package topology
+
+import (
+	"testing"
+)
+
+// TestEdgeSeqMatchesLinks pins the iterator contract: EdgeSeq yields exactly
+// Links() in order, and the per-level LinkSeq runs concatenate to EdgeSeq.
+func TestEdgeSeqMatchesLinks(t *testing.T) {
+	c, err := NewCFT(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.Links()
+	var got []Link
+	for l := range c.EdgeSeq() {
+		got = append(got, l)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("EdgeSeq yielded %d links, Links has %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("EdgeSeq[%d] = %v, Links[%d] = %v", i, got[i], i, want[i])
+		}
+	}
+
+	got = got[:0]
+	for lev := 1; lev < c.Levels(); lev++ {
+		for l := range c.LinkSeq(lev) {
+			if c.LevelOf(l.A) != lev {
+				t.Fatalf("LinkSeq(%d) yielded link from level %d", lev, c.LevelOf(l.A))
+			}
+			got = append(got, l)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("concatenated LinkSeq yielded %d links, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LinkSeq concat[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// Early break must stop the sequence cleanly.
+	n := 0
+	for range c.EdgeSeq() {
+		n++
+		if n == 3 {
+			break
+		}
+	}
+	if n != 3 {
+		t.Fatalf("early break consumed %d links, want 3", n)
+	}
+}
+
+// TestCloneArenaIndependence checks the arena-backed Clone is a true deep
+// copy: mutating the clone (removing and re-adding links, including appends
+// past the pinned capacity) leaves the original untouched.
+func TestCloneArenaIndependence(t *testing.T) {
+	c, err := NewCFT(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wires := c.Wires()
+	cp := c.Clone()
+	links := cp.Links()
+	for _, l := range links[:len(links)/2] {
+		cp.RemoveLink(l.A, l.B)
+	}
+	cp.AddLink(links[0].A, links[0].B)
+	cp.AddLink(links[0].A, links[0].B) // past pinned capacity on purpose
+	if c.Wires() != wires {
+		t.Fatalf("original wires changed: %d -> %d", wires, c.Wires())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("original invalid after clone mutation: %v", err)
+	}
+	orig := c.Links()
+	if len(orig) != wires {
+		t.Fatalf("original Links() length changed: %d, want %d", len(orig), wires)
+	}
+}
+
+// TestReserveDegreesOverflow checks wiring past a reserved degree falls back
+// to per-switch allocation without corrupting a neighbour's arena region.
+func TestReserveDegreesOverflow(t *testing.T) {
+	c, err := NewEmpty([]int{2, 2}, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ReserveDegrees([]int{1, 0}, []int{0, 1})
+	// Switch 0 gets two up-links despite a reserved degree of one.
+	c.AddLink(c.SwitchID(1, 0), c.SwitchID(2, 0))
+	c.AddLink(c.SwitchID(1, 0), c.SwitchID(2, 1))
+	c.AddLink(c.SwitchID(1, 1), c.SwitchID(2, 1))
+	if got := len(c.Up(c.SwitchID(1, 0))); got != 2 {
+		t.Fatalf("switch 0 has %d up-links, want 2", got)
+	}
+	if got := c.Up(c.SwitchID(1, 1)); len(got) != 1 || got[0] != c.SwitchID(2, 1) {
+		t.Fatalf("switch 1 up-links corrupted: %v", got)
+	}
+	if c.Wires() != 3 {
+		t.Fatalf("Wires() = %d, want 3", c.Wires())
+	}
+}

@@ -48,6 +48,18 @@ func NewXGFT(m, w []int, radix int) (*Clos, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Degrees are known up front: a level-i switch has w[i] up-links
+	// (i < h) and m[i-1] down-links (terminals excluded at level 1), so the
+	// whole adjacency lands in two arena allocations.
+	upDeg := make([]int, h)
+	downDeg := make([]int, h)
+	for i := 0; i < h-1; i++ {
+		upDeg[i] = w[i+1]
+	}
+	for i := 1; i < h; i++ {
+		downDeg[i] = m[i]
+	}
+	c.ReserveDegrees(upDeg, downDeg)
 	// Wire levels i -> i+1 for i = 1..h-1.
 	for i := 1; i < h; i++ {
 		// Parent label radices: a_1..a_{i+1}, c_{i+2}..c_h.

@@ -13,7 +13,10 @@
 #     scripts/lint.sh CI step's dominant cost), from a prebuilt binary so
 #     compile time is excluded, and
 #   - serving layer: cached GET /v1/path throughput in req/sec through the
-#     full HTTP stack (BenchmarkCachedPath: in-process rfcd + Go client).
+#     full HTTP stack (BenchmarkCachedPath: in-process rfcd + Go client), and
+#   - succinct route index: build time, bytes per leaf-pair (dense = 1.0)
+#     and MinTurn lookup latency on a 4096-leaf XGFT
+#     (BenchmarkTurnIndexBuild / BenchmarkTurnIndexLookup).
 #
 # Usage: scripts/bench.sh [reps] [cycles]
 set -eu
@@ -91,6 +94,17 @@ rps=$(go test -run '^$' -bench BenchmarkCachedPath -benchtime 2s ./internal/serv
 	awk '/req\/sec/ { print $(NF-1) }')
 : "${rps:?bench.sh: BenchmarkCachedPath produced no req/sec metric}"
 
+# Succinct route index (4096-leaf XGFT): build time, compression ratio in
+# bytes per leaf-pair (dense = 1.0), and MinTurn lookup latency.
+idx_out=$(go test -run '^$' -bench 'BenchmarkTurnIndex(Build|Lookup)' \
+	-benchtime 1s ./internal/routing/)
+idx_build_ns=$(printf '%s\n' "$idx_out" | awk '$1 ~ /TurnIndexBuild\/succinct/ { print $3 }')
+idx_bytes_pair=$(printf '%s\n' "$idx_out" | awk '$1 ~ /TurnIndexBuild\/succinct/ && /bytes\/pair/ { print $(NF-1) }')
+idx_lookup_ns=$(printf '%s\n' "$idx_out" | awk '$1 ~ /TurnIndexLookup\/succinct/ { print $3 }')
+: "${idx_build_ns:?bench.sh: BenchmarkTurnIndexBuild produced no succinct ns/op}"
+: "${idx_bytes_pair:?bench.sh: BenchmarkTurnIndexBuild produced no bytes/pair metric}"
+: "${idx_lookup_ns:?bench.sh: BenchmarkTurnIndexLookup produced no succinct ns/op}"
+
 append_point() { # $1 = JSON object line
 	if [ ! -f BENCH_engine.json ]; then
 		printf '[\n%s\n]\n' "$1" >BENCH_engine.json
@@ -113,9 +127,11 @@ append_point "  {\"date\": \"$date\", \"benchmark\": \"simcore-engine\", \"cycle
 append_point "  {\"date\": \"$date\", \"benchmark\": \"rfcmerge\", \"exhibit\": \"fig8\", \"shards\": 2, \"input_bytes\": $part_bytes, \"merge_s\": $merge_s, \"mb_per_sec\": $merge_mbps}"
 append_point "  {\"date\": \"$date\", \"benchmark\": \"rfclint\", \"packages\": $lint_pkgs, \"lint_s\": $lint_s}"
 append_point "  {\"date\": \"$date\", \"benchmark\": \"rfcd-path\", \"req_per_sec\": $rps}"
+append_point "  {\"date\": \"$date\", \"benchmark\": \"succinct-index\", \"leaves\": 4096, \"build_ns\": $idx_build_ns, \"bytes_per_pair\": $idx_bytes_pair, \"lookup_ns\": $idx_lookup_ns}"
 
 echo "fig8 x$reps reps @ $cycles cycles: serial ${serial}s, parallel(${cores}) ${parallel}s, speedup ${speedup}x"
 echo "simcore engine: $cps simulated cycles/sec"
 echo "rfcmerge: 2 shards, $part_bytes bytes in ${merge_s}s (${merge_mbps} MB/s), byte-identical to unsharded"
 echo "rfclint: $lint_pkgs packages clean in ${lint_s}s"
 echo "rfcd: $rps cached /v1/path req/sec"
+echo "succinct index (4096 leaves): build ${idx_build_ns}ns, ${idx_bytes_pair} bytes/pair, lookup ${idx_lookup_ns}ns"
