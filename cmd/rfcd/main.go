@@ -11,6 +11,7 @@
 //	POST /v1/topology                   build (or fetch cached) + summary stats
 //	GET  /v1/topology/{key}/export      adjacency JSON / Graphviz DOT / edge list
 //	GET  /v1/path?key=&src=&dst=&seed=  one shortest up/down path
+//	POST /v1/paths                      batch of src/dst pairs, one round trip
 //	POST /v1/expand                     plan an R-terminal expansion step (§5, Thm 4.2)
 //	GET  /v1/faults?key=&links=&seed=   connectivity + routability under random faults
 //

@@ -93,6 +93,7 @@ func run(topo string, radix, levels, leaves, q, k, n, degree, terms int, seed ui
 				rfclos.ThresholdRadix(leaves, levels), rfclos.XParam(radix, leaves, levels),
 				rfclos.SuccessProbability(rfclos.XParam(radix, leaves, levels)))
 			fmt.Printf("# up/down routable: %v\n", router.Routable())
+			fmt.Printf("# cover sets: %d bytes compressed (%s)\n", router.CoverBytes(), router.CoverRepr())
 		}
 	case "cft":
 		c, err = rfclos.NewCFT(radix, levels)

@@ -11,8 +11,8 @@ import (
 // TablesReport quantifies the §1/§6 simplicity argument: the forwarding
 // state a deployment needs. For the equal-resources CFT and RFC it builds
 // the explicit per-switch ECMP tables and reports entry counts, total ECMP
-// port references and memory, next to the bitset state the router actually
-// uses. The RRN column estimates the k-shortest-path state Jellyfish
+// port references and memory, next to the compressed cover state the router
+// actually uses. The RRN column estimates the k-shortest-path state Jellyfish
 // requires (k paths × average path length per switch pair), which grows
 // faster and must be recomputed globally on every expansion or fault.
 func TablesReport(scale Scale, kPaths int, seed uint64) (*Report, error) {
@@ -30,7 +30,7 @@ func TablesReport(scale Scale, kPaths int, seed uint64) (*Report, error) {
 			"CFT/RFC: explicit shortest up/down ECMP tables (entries × destinations)",
 			fmt.Sprintf("RRN: estimated %d-shortest-paths state (Jellyfish routing), hops stored per path", kPaths),
 		},
-		Header: []string{"network", "switches", "entries", "port refs", "explicit bytes", "bitset bytes"},
+		Header: []string{"network", "switches", "entries", "port refs", "explicit bytes", "cover bytes"},
 	}
 	cft, err := sc.CFT.Build()
 	if err != nil {

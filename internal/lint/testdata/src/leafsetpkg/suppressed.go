@@ -1,0 +1,11 @@
+package leafsetpkg
+
+import "time"
+
+// buildDuration measures how long a rebuild took for a log line only — the
+// duration never feeds the routing state, so the clock read is annotated.
+func buildDuration(rebuild func()) time.Duration {
+	start := time.Now() //rfclint:allow nondet-source -- log-only timing
+	rebuild()
+	return time.Since(start) //rfclint:allow nondet-source -- log-only timing
+}

@@ -17,6 +17,27 @@ func benchUpDown(b *testing.B) *UpDown {
 	return New(c)
 }
 
+// BenchmarkCoverBuild measures UpDown.Rebuild — the streaming compressed
+// cover construction — on the 4096-leaf XGFT, and reports the compressed
+// cover footprint next to what plain N1-bit bitsets would cost.
+func BenchmarkCoverBuild(b *testing.B) {
+	u := benchUpDown(b)
+	for i := 0; i < b.N; i++ {
+		u.Rebuild()
+	}
+	c := u.Clos()
+	l := c.Levels()
+	words := (c.LevelSize(1) + 63) / 64
+	sets := 0
+	for r := 0; r < l; r++ {
+		for lev := 1; lev <= l-r; lev++ {
+			sets += c.LevelSize(lev)
+		}
+	}
+	b.ReportMetric(float64(u.CoverBytes()), "cover-bytes")
+	b.ReportMetric(float64(sets*words*8), "plain-bytes")
+}
+
 // BenchmarkTurnIndexBuild measures index construction for both tiers and
 // reports the encoding density as bytes per ordered leaf pair (the dense
 // tier is 1.0 by definition).

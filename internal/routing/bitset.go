@@ -19,6 +19,71 @@ func (b Bitset) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
 // Get reports bit i.
 func (b Bitset) Get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
 
+// ClearBit clears bit i.
+func (b Bitset) ClearBit(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// SetRange sets bits [lo, hi).
+func (b Bitset) SetRange(lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	loW, hiW := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - (uint(hi-1) & 63))
+	if loW == hiW {
+		b[loW] |= loMask & hiMask
+		return
+	}
+	b[loW] |= loMask
+	for i := loW + 1; i < hiW; i++ {
+		b[i] = ^uint64(0)
+	}
+	b[hiW] |= hiMask
+}
+
+// NextSet returns the position of the first set bit at or after i, or -1
+// when no set bit remains.
+func (b Bitset) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	wi := i >> 6
+	if wi >= len(b) {
+		return -1
+	}
+	if w := b[wi] &^ ((1 << (uint(i) & 63)) - 1); w != 0 {
+		return wi<<6 + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(b); wi++ {
+		if w := b[wi]; w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// NextClear returns the position of the first clear bit at or after i,
+// which is len(b)*64 when every remaining bit is set. Callers bounding the
+// bitset to n logical bits must clamp the result to n themselves.
+func (b Bitset) NextClear(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	wi := i >> 6
+	if wi >= len(b) {
+		return len(b) << 6
+	}
+	if w := ^b[wi] &^ ((1 << (uint(i) & 63)) - 1); w != 0 {
+		return wi<<6 + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(b); wi++ {
+		if w := ^b[wi]; w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+	}
+	return len(b) << 6
+}
+
 // Or merges other into b (b |= other).
 func (b Bitset) Or(other Bitset) {
 	for i, w := range other {

@@ -1,7 +1,5 @@
 package routing
 
-import "math/bits"
-
 // TurnIndex is a precomputed up/down route index: for every ordered pair of
 // leaf switches it answers the minimal number of up hops (the "turn level")
 // of a shortest up/down path, the quantity MinTurn computes from the cover
@@ -81,22 +79,21 @@ func NewMinTurnIndex(u *UpDown) *MinTurnIndex {
 		row[src] = 0
 		filled := 1
 		s := u.c.SwitchID(1, src)
-		for r := 1; r < len(u.cover) && r < turnUnreachable; r++ {
+		for r := 1; r < len(u.cover) && r < turnUnreachable && filled < n; r++ {
 			cov := u.cover[r][s]
 			if cov == nil {
 				continue
 			}
-			for wi, word := range cov {
-				for word != 0 {
-					b := bits.TrailingZeros64(word)
-					word &= word - 1
-					dst := wi<<6 + b
-					if dst < n && row[dst] == turnUnreachable {
-						row[dst] = uint8(r)
+			rr := uint8(r)
+			cov.Runs(func(lo, hi int) bool {
+				for dst := lo; dst < hi; dst++ {
+					if row[dst] == turnUnreachable {
+						row[dst] = rr
 						filled++
 					}
 				}
-			}
+				return true
+			})
 		}
 		ix.unreachable += int64(n - filled)
 	}

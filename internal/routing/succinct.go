@@ -93,6 +93,10 @@ func NewSuccinctTurnIndex(u *UpDown, promoteBudget int64) *SuccinctTurnIndex {
 	words := (n + 63) / 64
 	seen := NewBitset(n)
 	exc := NewBitset(n)
+	// covBuf materialises one compressed cover set at a time as plain words
+	// for the delta computation below — the only transient dense state the
+	// build needs, reused across all (src, r) pairs.
+	covBuf := NewBitset(n)
 	deltas := make([]Bitset, l)
 	for r := 1; r < l; r++ {
 		deltas[r] = NewBitset(n)
@@ -112,8 +116,9 @@ func NewSuccinctTurnIndex(u *UpDown, promoteBudget int64) *SuccinctTurnIndex {
 			if cov == nil {
 				continue
 			}
+			cov.Fill(covBuf)
 			delta := deltas[r]
-			for i, w := range cov {
+			for i, w := range covBuf {
 				d := w &^ seen[i]
 				delta[i] = d
 				seen[i] |= d

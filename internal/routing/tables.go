@@ -108,8 +108,9 @@ type TableStats struct {
 	// ApproxBytes estimates memory for the explicit tables at one byte
 	// per port reference plus two bytes per entry header.
 	ApproxBytes int
-	// CoverBytes is the memory of the bitset representation UpDown
-	// actually routes from.
+	// CoverBytes is the memory of the compressed cover representation
+	// UpDown actually routes from, as reported by UpDown.CoverBytes (the
+	// same number the serving layer charges against cache budgets).
 	CoverBytes int
 	// UnreachableEntries counts (switch, destination) pairs with no
 	// shortest up/down port — zero on a routable network.
@@ -129,16 +130,12 @@ func (u *UpDown) Stats(tables []ForwardingTable) TableStats {
 		}
 	}
 	st.ApproxBytes = st.TotalPortRefs + 2*st.TotalEntries
-	for _, covs := range u.cover {
-		for _, b := range covs {
-			st.CoverBytes += 8 * len(b)
-		}
-	}
+	st.CoverBytes = u.CoverBytes()
 	return st
 }
 
 // String renders the stats compactly.
 func (s TableStats) String() string {
-	return fmt.Sprintf("tables: %d switches × %d dests, %d entries, %d port refs, ~%d B explicit vs %d B bitsets, %d unreachable",
+	return fmt.Sprintf("tables: %d switches × %d dests, %d entries, %d port refs, ~%d B explicit vs %d B covers, %d unreachable",
 		s.Switches, s.Destinations, s.TotalEntries, s.TotalPortRefs, s.ApproxBytes, s.CoverBytes, s.UnreachableEntries)
 }

@@ -15,19 +15,23 @@ import (
 // hops only, so the channel dependency graph is acyclic and the routing is
 // deadlock-free without virtual-channel ordering (§4.1).
 //
-// The state is two families of leaf-bitsets:
+// The state is two families of leaf sets:
 //
 //	desc(s)   = leaves below switch s (cover_0)
 //	cover_r(s) = ∪_{p parent of s} cover_{r-1}(p)
 //
 // cover_r(s) is the set of leaves reachable from s by exactly r up hops
 // followed by downs. All sets are rebuilt from the (possibly faulted)
-// topology by Rebuild.
+// topology by Rebuild. Sets are stored as compressed LeafSet containers
+// (leafset.go) rather than plain N1-bit bitsets, so the state's memory is
+// proportional to the compressed size of the covers — orders of magnitude
+// below N1²/8 on structured or routable networks — which is what lets the
+// serving layer hold paper-scale (200K+ leaf) fabrics in memory.
 type UpDown struct {
 	c *topology.Clos
 	// cover[r][s]; cover[0] is desc. cover[r][s] is nil for switches whose
 	// level exceeds l-r (they cannot take r up hops).
-	cover [][]Bitset
+	cover [][]LeafSet
 	n1    int
 }
 
@@ -42,61 +46,99 @@ func New(c *topology.Clos) *UpDown {
 // Clos returns the topology this router routes on.
 func (u *UpDown) Clos() *topology.Clos { return u.c }
 
-// SizeBytes returns the memory footprint of the routing state's descendant
-// and cover bitsets (the dominant cost; slice headers included, the
-// underlying topology excluded). The serving layer charges this against its
-// cache budget.
-func (u *UpDown) SizeBytes() int {
+// CoverBytes returns the memory footprint of the routing state's descendant
+// and cover containers (the dominant cost; container payloads, container
+// struct headers and the cover-table interface slots included, the
+// underlying topology excluded). It is the single source of truth for
+// cover-memory accounting: SizeBytes (the cache-budget charge) and
+// TableStats.CoverBytes (the stats report) both delegate here.
+func (u *UpDown) CoverBytes() int {
 	n := 0
 	for _, level := range u.cover {
-		n += 24 * len(level)
-		for _, b := range level {
-			n += 8 * len(b)
+		n += 16 * len(level) // interface slots
+		for _, s := range level {
+			if s != nil {
+				n += s.SizeBytes()
+			}
 		}
 	}
 	return n
 }
 
-// Rebuild recomputes every descendant and cover set from the topology.
+// SizeBytes returns the memory the serving layer charges against its cache
+// budget for this router; it equals CoverBytes.
+func (u *UpDown) SizeBytes() int { return u.CoverBytes() }
+
+// CoverRepr summarises which containers the cover sets landed in, as
+// "repr:count" pairs in a fixed order with zero counts omitted (e.g.
+// "run:520 sparse:64 full:8"). Diagnostic only; surfaced by the service's
+// topology summaries and cmd/rfcgen.
+func (u *UpDown) CoverRepr() string {
+	var counts [len(coverReprOrder)]int
+	for _, level := range u.cover {
+		for _, s := range level {
+			if s == nil {
+				continue
+			}
+			if i := reprIndex(s.Repr()); i >= 0 {
+				counts[i]++
+			}
+		}
+	}
+	return formatCoverRepr(counts)
+}
+
+// Rebuild recomputes every descendant and cover set from the topology. The
+// build is level-streaming: sets are produced one switch at a time through
+// a single reusable scratch bitset and compressed immediately, so peak
+// transient memory is one N1-bit buffer plus the compressed result —
+// never the old O(N1²/8) of materialising every set as a plain bitset.
+// Interval-shaped inputs union as sorted run lists without touching the
+// scratch at all, and when the topology declares contiguous descendant
+// ranges (Clos.LeafRange, set by the XGFT family) desc sets are built
+// directly from the declared interval.
 func (u *UpDown) Rebuild() {
 	c := u.c
 	l := c.Levels()
 	total := c.NumSwitches()
-	u.cover = make([][]Bitset, l)
+	u.cover = make([][]LeafSet, l)
+	bld := newLeafSetBuilder(u.n1)
 
 	// cover_0 = descendant sets, computed level by level bottom-up.
-	desc := make([]Bitset, total)
+	desc := make([]LeafSet, total)
 	for i := 0; i < u.n1; i++ {
-		s := c.SwitchID(1, i)
-		desc[s] = NewBitset(u.n1)
-		desc[s].Set(i)
+		desc[c.SwitchID(1, i)] = newSingletonLeafSet(u.n1, i)
 	}
 	for lev := 2; lev <= l; lev++ {
 		for i := 0; i < c.LevelSize(lev); i++ {
 			s := c.SwitchID(lev, i)
-			d := NewBitset(u.n1)
-			for _, ch := range c.Down(s) {
-				d.Or(desc[ch])
+			if lo, hi, ok := c.LeafRange(s); ok {
+				desc[s] = leafSetFromRange(u.n1, lo, hi)
+				continue
 			}
-			desc[s] = d
+			bld.reset()
+			for _, ch := range c.Down(s) {
+				bld.add(desc[ch])
+			}
+			desc[s] = bld.finish()
 		}
 	}
 	u.cover[0] = desc
 
 	// cover_r for r = 1..l-1, only for switches at levels 1..l-r.
 	for r := 1; r < l; r++ {
-		cov := make([]Bitset, total)
+		cov := make([]LeafSet, total)
 		prev := u.cover[r-1]
 		for lev := 1; lev <= l-r; lev++ {
 			for i := 0; i < c.LevelSize(lev); i++ {
 				s := c.SwitchID(lev, i)
-				b := NewBitset(u.n1)
+				bld.reset()
 				for _, p := range c.Up(s) {
 					if prev[p] != nil {
-						b.Or(prev[p])
+						bld.add(prev[p])
 					}
 				}
-				cov[s] = b
+				cov[s] = bld.finish()
 			}
 		}
 		u.cover[r] = cov
@@ -247,9 +289,8 @@ func (u *UpDown) NextDownPort(s int32, dst int, r *rng.Rand) int {
 	return chosen
 }
 
-// Descendants returns the descendant leaf bitset of switch s (do not
-// modify).
-func (u *UpDown) Descendants(s int32) Bitset { return u.cover[0][s] }
+// Descendants returns the descendant leaf set of switch s (immutable).
+func (u *UpDown) Descendants(s int32) LeafSet { return u.cover[0][s] }
 
 // Routable reports whether every ordered pair of distinct leaves has an
 // up/down path, i.e. whether the network still has the common-ancestor
@@ -259,16 +300,29 @@ func (u *UpDown) Routable() bool {
 }
 
 // UnroutablePairs counts unordered leaf pairs with no up/down path, giving
-// up early once limit pairs are found (limit <= 0 means count all).
+// up early once limit pairs are found (limit <= 0 means count all). Leaves
+// with any full cover set skip the per-pair scan entirely, so on healthy
+// routable networks — where the top-turn cover is full for every leaf —
+// this is O(N1) regardless of scale.
 func (u *UpDown) UnroutablePairs(limit int) int {
 	acc := NewBitset(u.n1)
 	found := 0
 	for i := 0; i < u.n1; i++ {
 		s := u.c.SwitchID(1, i)
+		fullCover := false
+		for r := 1; r < len(u.cover); r++ {
+			if cov := u.cover[r][s]; cov != nil && cov.Full() {
+				fullCover = true
+				break
+			}
+		}
+		if fullCover {
+			continue
+		}
 		acc.Clear()
 		for r := 1; r < len(u.cover); r++ {
 			if cov := u.cover[r][s]; cov != nil {
-				acc.Or(cov)
+				cov.OrInto(acc)
 			}
 		}
 		acc.Set(i)

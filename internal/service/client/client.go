@@ -138,6 +138,21 @@ func (c *Client) Path(ctx context.Context, key string, src, dst int, seed uint64
 	return &resp, nil
 }
 
+// Paths requests POST /v1/paths: a batch of src/dst pairs resolved against
+// one cached topology in a single round trip. Each element of the response
+// matches the corresponding single Path query with the same seed.
+func (c *Client) Paths(ctx context.Context, key string, pairs [][2]int, seed uint64) (*service.PathsResponse, error) {
+	body, err := c.post(ctx, "/v1/paths", service.PathsRequest{Key: key, Pairs: pairs, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	var resp service.PathsResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Expand requests POST /v1/expand.
 func (c *Client) Expand(ctx context.Context, req service.ExpandRequest) (*service.ExpandResponse, error) {
 	body, err := c.post(ctx, "/v1/expand", req)

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"slices"
 	"strings"
 	"time"
 
@@ -82,6 +83,31 @@ func Selfcheck(out io.Writer) error {
 		return fmt.Errorf("path responses differ across repeats:\n%s\n%s", p1, p2)
 	}
 	step("path query deterministic (%d bytes)", len(p1))
+
+	// Batch path queries must agree element-wise with the corresponding
+	// single-path responses under the same seed.
+	pairs := [][2]int{{0, first.IndexLeaves - 1}, {1, 2}, {3, 3}, {first.IndexLeaves - 1, 0}}
+	batch, err := c.Paths(ctx, first.Key, pairs, 7)
+	if err != nil {
+		return fmt.Errorf("paths batch: %w", err)
+	}
+	if batch.Count != len(pairs) || len(batch.Paths) != len(pairs) {
+		return fmt.Errorf("paths batch returned %d/%d results, want %d", batch.Count, len(batch.Paths), len(pairs))
+	}
+	for i, pair := range pairs {
+		single, err := c.Path(ctx, first.Key, pair[0], pair[1], 7)
+		if err != nil {
+			return fmt.Errorf("path for batch pair %v: %w", pair, err)
+		}
+		got := batch.Paths[i]
+		if got.Src != single.Src || got.Dst != single.Dst || got.Routable != single.Routable ||
+			got.Hops != single.Hops || !slices.Equal(got.Path, single.Path) ||
+			(got.MinTurn == nil) != (single.MinTurn == nil) ||
+			(got.MinTurn != nil && *got.MinTurn != *single.MinTurn) {
+			return fmt.Errorf("batch result %d for pair %v differs from the single query", i, pair)
+		}
+	}
+	step("batch /v1/paths agrees with %d single queries", len(pairs))
 
 	// Exports must be byte-identical to the offline encoders applied to an
 	// independent build of the same spec (the shared-encoder guarantee

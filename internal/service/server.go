@@ -55,6 +55,7 @@ func New(opts Options) *Server {
 	s.route("POST /v1/topology", s.handleTopology)
 	s.route("GET /v1/topology/{key}/export", s.handleExport)
 	s.route("GET /v1/path", s.handlePath)
+	s.route("POST /v1/paths", s.handlePaths)
 	s.route("POST /v1/expand", s.handleExpand)
 	s.route("GET /v1/faults", s.handleFaults)
 	return s
@@ -134,6 +135,12 @@ type TopologySummary struct {
 	IndexLeaves int    `json:"index_leaves,omitempty"`
 	IndexBytes  int    `json:"index_bytes,omitempty"`
 	IndexTier   string `json:"index_tier,omitempty"`
+	// CoverBytes/CoverRepr describe the router's compressed cover state
+	// (folded Clos kinds): CoverBytes is the memory the cache budget is
+	// charged for the cover containers, CoverRepr the per-container
+	// histogram (e.g. "run:520 sparse:64 full:8") — see routing.LeafSet.
+	CoverBytes int    `json:"cover_bytes,omitempty"`
+	CoverRepr  string `json:"cover_repr,omitempty"`
 	// Theorem 4.2 placement, rfc only.
 	XParam         *float64 `json:"x_param,omitempty"`
 	ThresholdRadix *float64 `json:"threshold_radix,omitempty"`
@@ -161,6 +168,10 @@ func (s *Server) summarize(t *Topology, cached bool) TopologySummary {
 		sum.IndexLeaves = t.Index.Leaves()
 		sum.IndexBytes = t.Index.SizeBytes()
 		sum.IndexTier = t.Index.Tier()
+	}
+	if t.Router != nil {
+		sum.CoverBytes = t.Router.CoverBytes()
+		sum.CoverRepr = t.Router.CoverRepr()
 	}
 	if t.Spec.Kind == "rfc" {
 		x := core.XParam(t.Spec.Radix, t.Spec.Leaves, t.Spec.Levels)
@@ -362,6 +373,120 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 		path := t.Router.PathAt(src, dst, turn, stream)
 		resp.Path = path
 		resp.Hops = len(path) - 1
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// maxPathsPerRequest bounds one POST /v1/paths batch so a single request
+// cannot hold a connection for an unbounded amount of work.
+const maxPathsPerRequest = 8192
+
+// PathsRequest is the POST /v1/paths body: a batch of src/dst pairs
+// resolved against one cached topology in a single request, amortising the
+// topology lookup and HTTP round trip across the batch (the first step of
+// the high-QPS serving item).
+type PathsRequest struct {
+	Key   string   `json:"key"`
+	Pairs [][2]int `json:"pairs"`
+	// Seed feeds each pair's path randomisation exactly as GET /v1/path's
+	// seed parameter does (default 1): a batch response is element-wise
+	// byte-identical to the corresponding single-path responses.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// PathResult is one pair's outcome within a PathsResponse, mirroring the
+// per-pair fields of PathResponse.
+type PathResult struct {
+	Src      int     `json:"src"`
+	Dst      int     `json:"dst"`
+	MinTurn  *int    `json:"min_turn,omitempty"`
+	Routable bool    `json:"routable"`
+	Hops     int     `json:"hops"`
+	Path     []int32 `json:"path,omitempty"`
+}
+
+// PathsResponse is the POST /v1/paths response. Like PathResponse it is a
+// pure function of (key's params, pairs, seed).
+type PathsResponse struct {
+	Key   string       `json:"key"`
+	Seed  uint64       `json:"seed"`
+	Count int          `json:"count"`
+	Paths []PathResult `json:"paths"`
+}
+
+func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
+	var req PathsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	if len(req.Pairs) == 0 {
+		s.writeError(w, http.StatusBadRequest, "empty pairs batch")
+		return
+	}
+	if len(req.Pairs) > maxPathsPerRequest {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d pairs exceeds the %d-pair limit", len(req.Pairs), maxPathsPerRequest))
+		return
+	}
+	t, ok := s.lookup(w, req.Key)
+	if !ok {
+		return
+	}
+	resp := PathsResponse{
+		Key:   t.Key,
+		Seed:  req.Seed,
+		Count: len(req.Pairs),
+		Paths: make([]PathResult, 0, len(req.Pairs)),
+	}
+	if t.RRN != nil {
+		for _, pair := range req.Pairs {
+			src, dst := pair[0], pair[1]
+			if src < 0 || src >= t.RRN.N() || dst < 0 || dst >= t.RRN.N() {
+				s.writeError(w, http.StatusBadRequest,
+					fmt.Sprintf("pair (%d,%d): src/dst must be switch ids in [0, %d)", src, dst, t.RRN.N()))
+				return
+			}
+			res := PathResult{Src: src, Dst: dst}
+			if path := t.RRN.G.ShortestPath(src, dst); path != nil {
+				res.Routable = true
+				res.Path = path
+				res.Hops = len(path) - 1
+			}
+			resp.Paths = append(resp.Paths, res)
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	n1 := t.Clos.LevelSize(1)
+	for _, pair := range req.Pairs {
+		src, dst := pair[0], pair[1]
+		if src < 0 || src >= n1 || dst < 0 || dst >= n1 {
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("pair (%d,%d): src/dst must be leaf-switch indices in [0, %d)", src, dst, n1))
+			return
+		}
+		var turn int
+		if t.Index != nil {
+			turn = t.Index.MinTurn(src, dst)
+		} else {
+			turn = t.Router.MinTurn(src, dst)
+		}
+		res := PathResult{Src: src, Dst: dst, Routable: turn >= 0}
+		mt := turn
+		res.MinTurn = &mt
+		if turn >= 0 {
+			// The same per-pair stream GET /v1/path derives, so batch and
+			// single-path responses agree byte for byte.
+			stream := rng.At(req.Seed, rng.StringCoord("rfcd/path"), uint64(src), uint64(dst))
+			path := t.Router.PathAt(src, dst, turn, stream)
+			res.Path = path
+			res.Hops = len(path) - 1
+		}
+		resp.Paths = append(resp.Paths, res)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -61,10 +61,13 @@ const maxSwitches = 1 << 21
 const DefaultDenseIndexBytes = 64 << 20
 
 // maxSuccinctLeaves bounds the leaf count for which even the succinct index
-// is precomputed: its build walks O(levels·N1²/64) words, which at 128K
-// leaves is a few seconds of CPU. Beyond it, path queries fall back to the
-// cover-set MinTurn, which is O(levels) per query with no precomputation.
-const maxSuccinctLeaves = 1 << 17
+// is precomputed: its build walks O(levels·N1²/64) words, which at 512K
+// leaves is tens of seconds of CPU. The compressed cover representation
+// (routing.LeafSet) keeps the router itself far below this, so the bound
+// covers the paper's 200K-terminal scenario C with headroom. Beyond it,
+// path queries fall back to the cover-set MinTurn, which is O(levels) per
+// query with no precomputation.
+const maxSuccinctLeaves = 1 << 19
 
 // Normalize validates sp, fills kind-specific defaults and canonicalises
 // fields that do not affect the build (the seed of deterministic kinds),
@@ -278,9 +281,10 @@ func (t *Topology) Wires() int {
 }
 
 // MemBytes estimates the resident cost of the cached build: adjacency lists
-// (two int32 endpoints per wire plus slice headers), the router's cover
-// bitsets, and the turn index. The cache charges this against its byte
-// budget, so one huge build evicts many small ones rather than none.
+// (two int32 endpoints per wire plus slice headers), the router's
+// compressed cover containers (UpDown.CoverBytes via SizeBytes), and the
+// turn index. The cache charges this against its byte budget, so one huge
+// build evicts many small ones rather than none.
 func (t *Topology) MemBytes() int64 {
 	const sliceHeader = 24
 	if t.RRN != nil {

@@ -30,6 +30,13 @@ type Clos struct {
 	offset    []int32 // offset[i] = global id of first switch at level i+1
 	up        [][]int32
 	down      [][]int32
+	// leafRange, when non-nil, records for every switch s the contiguous
+	// descendant-leaf interval [leafRange[2s], leafRange[2s+1]). Builders
+	// whose wiring makes every descendant set contiguous (the XGFT family)
+	// install it after construction; any later link mutation drops it, so a
+	// present range is always trustworthy. Routing builds descendant sets
+	// directly from these intervals instead of unioning children.
+	leafRange []int32
 }
 
 // NewEmpty creates a Clos with the given per-level switch counts and no
@@ -105,6 +112,20 @@ func (c *Clos) Up(s int32) []int32 { return c.up[s] }
 // Down returns the down-neighbour switch ids of s (owned by the Clos).
 func (c *Clos) Down(s int32) []int32 { return c.down[s] }
 
+// setLeafRanges installs builder-computed contiguous descendant leaf
+// ranges (see the leafRange field). Builders call it once, after wiring.
+func (c *Clos) setLeafRanges(r []int32) { c.leafRange = r }
+
+// LeafRange returns the contiguous descendant leaf interval [lo, hi) of
+// switch s when the builder declared one and no link has been added or
+// removed since; ok is false otherwise.
+func (c *Clos) LeafRange(s int32) (lo, hi int, ok bool) {
+	if c.leafRange == nil {
+		return 0, 0, false
+	}
+	return int(c.leafRange[2*s]), int(c.leafRange[2*s+1]), true
+}
+
 // AddLink wires switch a at some level i to switch b at level i+1. Both are
 // global ids; the call panics if they are not on adjacent levels.
 func (c *Clos) AddLink(a, b int32) {
@@ -112,6 +133,7 @@ func (c *Clos) AddLink(a, b int32) {
 	if lb != la+1 {
 		panic(fmt.Sprintf("topology: AddLink(%d@L%d, %d@L%d): not adjacent levels", a, la, b, lb))
 	}
+	c.leafRange = nil
 	c.up[a] = append(c.up[a], b)
 	c.down[b] = append(c.down[b], a)
 }
@@ -122,6 +144,7 @@ func (c *Clos) RemoveLink(a, b int32) bool {
 	if !removeOne(&c.up[a], b) {
 		return false
 	}
+	c.leafRange = nil
 	if !removeOne(&c.down[b], a) {
 		panic("topology: asymmetric link state")
 	}
@@ -183,6 +206,7 @@ func (c *Clos) Clone() *Clos {
 		offset:       append([]int32(nil), c.offset...),
 		up:           cloneArena(c.up),
 		down:         cloneArena(c.down),
+		leafRange:    append([]int32(nil), c.leafRange...),
 	}
 	return cp
 }

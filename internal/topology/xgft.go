@@ -60,6 +60,15 @@ func NewXGFT(m, w []int, radix int) (*Clos, error) {
 		downDeg[i] = m[i]
 	}
 	c.ReserveDegrees(upDeg, downDeg)
+	wireXGFT(c, m, w, sizes)
+	declareXGFTLeafRanges(c, m, w, sizes)
+	return c, nil
+}
+
+// wireXGFT adds the complete-bipartite block links of the XGFT label
+// scheme.
+func wireXGFT(c *Clos, m, w, sizes []int) {
+	h := len(m)
 	// Wire levels i -> i+1 for i = 1..h-1.
 	for i := 1; i < h; i++ {
 		// Parent label radices: a_1..a_{i+1}, c_{i+2}..c_h.
@@ -78,7 +87,43 @@ func NewXGFT(m, w []int, radix int) (*Clos, error) {
 			}
 		}
 	}
-	return c, nil
+}
+
+// declareXGFTLeafRanges computes, for every switch, the contiguous
+// descendant leaf interval its label implies and installs it on the Clos
+// (LeafRange). In the label scheme a level-i switch shares its c_{i+1}..c_h
+// digits with exactly the leaves below it while positions 1..i-1 range
+// freely, and those free positions are the least-significant leaf-index
+// digits — so the descendants are the interval [base, base+blk) where blk =
+// ∏ m[1..i-1] and base weighs the shared digits. Routing uses the declared
+// intervals to build descendant sets as single runs; the hybrid-vs-bitset
+// equivalence property tests in internal/routing pin that the declared
+// ranges match the wired graph.
+func declareXGFTLeafRanges(c *Clos, m, w, sizes []int) {
+	h := len(m)
+	lr := make([]int32, 2*c.NumSwitches())
+	// wl[j] = ∏ m[1..j-1]: the leaf-index weight of label position j, and
+	// the descendant block size of a level-j switch.
+	wl := make([]int, h+1)
+	wl[1] = 1
+	for j := 2; j <= h; j++ {
+		wl[j] = wl[j-1] * m[j-1]
+	}
+	dy := make([]int, h)
+	for i := 1; i <= h; i++ {
+		ry := labelRadices(m, w, i)
+		for p := 0; p < sizes[i-1]; p++ {
+			decodeMixed(p, ry, dy)
+			base := 0
+			for j := i; j < h; j++ {
+				base += dy[j] * wl[j]
+			}
+			s := c.SwitchID(i, p)
+			lr[2*s] = int32(base)
+			lr[2*s+1] = int32(base + wl[i])
+		}
+	}
+	c.setLeafRanges(lr)
 }
 
 // labelRadices returns the digit radices of a level-i switch label:

@@ -16,7 +16,9 @@
 #     full HTTP stack (BenchmarkCachedPath: in-process rfcd + Go client), and
 #   - succinct route index: build time, bytes per leaf-pair (dense = 1.0)
 #     and MinTurn lookup latency on a 4096-leaf XGFT
-#     (BenchmarkTurnIndexBuild / BenchmarkTurnIndexLookup).
+#     (BenchmarkTurnIndexBuild / BenchmarkTurnIndexLookup), and
+#   - compressed cover sets: UpDown.Rebuild wall time plus compressed vs
+#     plain-bitset cover bytes on the same XGFT (BenchmarkCoverBuild).
 #
 # Usage: scripts/bench.sh [reps] [cycles]
 set -eu
@@ -105,6 +107,16 @@ idx_lookup_ns=$(printf '%s\n' "$idx_out" | awk '$1 ~ /TurnIndexLookup\/succinct/
 : "${idx_bytes_pair:?bench.sh: BenchmarkTurnIndexBuild produced no bytes/pair metric}"
 : "${idx_lookup_ns:?bench.sh: BenchmarkTurnIndexLookup produced no succinct ns/op}"
 
+# Compressed cover sets (same 4096-leaf XGFT): streaming Rebuild time and
+# the hybrid-container footprint next to the plain one-bitset-per-set cost.
+cov_out=$(go test -run '^$' -bench BenchmarkCoverBuild -benchtime 1s ./internal/routing/)
+cov_build_ns=$(printf '%s\n' "$cov_out" | awk '$1 ~ /CoverBuild/ { print $3 }')
+cov_bytes=$(printf '%s\n' "$cov_out" | awk '$1 ~ /CoverBuild/ { for (i = 1; i < NF; i++) if ($(i+1) == "cover-bytes") print $i }')
+cov_plain_bytes=$(printf '%s\n' "$cov_out" | awk '$1 ~ /CoverBuild/ { for (i = 1; i < NF; i++) if ($(i+1) == "plain-bytes") print $i }')
+: "${cov_build_ns:?bench.sh: BenchmarkCoverBuild produced no ns/op}"
+: "${cov_bytes:?bench.sh: BenchmarkCoverBuild produced no cover-bytes metric}"
+: "${cov_plain_bytes:?bench.sh: BenchmarkCoverBuild produced no plain-bytes metric}"
+
 append_point() { # $1 = JSON object line
 	if [ ! -f BENCH_engine.json ]; then
 		printf '[\n%s\n]\n' "$1" >BENCH_engine.json
@@ -128,6 +140,7 @@ append_point "  {\"date\": \"$date\", \"benchmark\": \"rfcmerge\", \"exhibit\": 
 append_point "  {\"date\": \"$date\", \"benchmark\": \"rfclint\", \"packages\": $lint_pkgs, \"lint_s\": $lint_s}"
 append_point "  {\"date\": \"$date\", \"benchmark\": \"rfcd-path\", \"req_per_sec\": $rps}"
 append_point "  {\"date\": \"$date\", \"benchmark\": \"succinct-index\", \"leaves\": 4096, \"build_ns\": $idx_build_ns, \"bytes_per_pair\": $idx_bytes_pair, \"lookup_ns\": $idx_lookup_ns}"
+append_point "  {\"date\": \"$date\", \"benchmark\": \"cover-build\", \"leaves\": 4096, \"build_ns\": $cov_build_ns, \"cover_bytes\": $cov_bytes, \"plain_bytes\": $cov_plain_bytes}"
 
 echo "fig8 x$reps reps @ $cycles cycles: serial ${serial}s, parallel(${cores}) ${parallel}s, speedup ${speedup}x"
 echo "simcore engine: $cps simulated cycles/sec"
@@ -135,3 +148,4 @@ echo "rfcmerge: 2 shards, $part_bytes bytes in ${merge_s}s (${merge_mbps} MB/s),
 echo "rfclint: $lint_pkgs packages clean in ${lint_s}s"
 echo "rfcd: $rps cached /v1/path req/sec"
 echo "succinct index (4096 leaves): build ${idx_build_ns}ns, ${idx_bytes_pair} bytes/pair, lookup ${idx_lookup_ns}ns"
+echo "cover sets (4096 leaves): rebuild ${cov_build_ns}ns, $cov_bytes compressed vs $cov_plain_bytes plain bytes"
