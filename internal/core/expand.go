@@ -46,11 +46,16 @@ func Expand(c *topology.Clos, increments int, r *rng.Rand) (*topology.Clos, int,
 	if err != nil {
 		return nil, 0, err
 	}
-	// Copy existing wiring; (level, index) identities are preserved.
-	for _, link := range c.Links() {
-		la := c.LevelOf(link.A)
-		out.AddLink(out.SwitchID(la, c.IndexInLevel(link.A)),
-			out.SwitchID(la+1, c.IndexInLevel(link.B)))
+	// Copy existing wiring level pair by level pair; (level, index)
+	// identities are preserved. Each pair seals straight into the expanded
+	// network's CSR base, so only the splices below go through the overlay.
+	for i := 1; i < l; i++ {
+		e := out.WireLevel(i, oldSizes[i-1]*half)
+		for link := range c.LinkSeq(i) {
+			e.Link(out.SwitchID(i, c.IndexInLevel(link.A)),
+				out.SwitchID(i+1, c.IndexInLevel(link.B)))
+		}
+		e.Seal()
 	}
 
 	rewired := 0

@@ -119,24 +119,19 @@ func GenerateGeneral(p GeneralParams, r *rng.Rand) (*topology.Clos, error) {
 	if err != nil {
 		return nil, err
 	}
-	upDeg := make([]int, len(p.Sizes))
-	downDeg := make([]int, len(p.Sizes))
-	for i := 0; i < len(p.Sizes)-1; i++ {
-		upDeg[i] = p.UpDeg[i]
-		downDeg[i+1] = p.DownDeg(i)
-	}
-	c.ReserveDegrees(upDeg, downDeg)
 	for i := 0; i < len(p.Sizes)-1; i++ {
 		bp, err := graph.RandomBipartite(p.Sizes[i], p.UpDeg[i], p.Sizes[i+1], p.DownDeg(i), r)
 		if err != nil {
 			return nil, fmt.Errorf("core: level %d-%d wiring: %w", i+1, i+2, err)
 		}
+		e := c.WireLevel(i+1, p.Sizes[i]*p.UpDeg[i])
 		for a, ns := range bp.AdjA {
 			sa := c.SwitchID(i+1, a)
 			for _, b := range ns {
-				c.AddLink(sa, c.SwitchID(i+2, int(b)))
+				e.Link(sa, c.SwitchID(i+2, int(b)))
 			}
 		}
+		e.Seal()
 	}
 	return c, nil
 }

@@ -22,6 +22,14 @@ var ErrNotRoutable = errors.New("core: could not generate an up/down-routable RF
 // result is a valid radix-regular folded Clos; whether it enjoys up/down
 // routing is probabilistic, governed by Theorem 4.2.
 func Generate(p Params, r *rng.Rand) (*topology.Clos, error) {
+	return GenerateStream(p, r, nil)
+}
+
+// GenerateStream is Generate with a level sink: each level pair's random
+// bipartite wiring is sealed into the CSR store — and handed to sink —
+// before the next pair is drawn, so the bipartite scratch of one level pair
+// is all the extra memory construction ever holds.
+func GenerateStream(p Params, r *rng.Rand, sink topology.LevelSink) (*topology.Clos, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -31,15 +39,7 @@ func Generate(p Params, r *rng.Rand) (*topology.Clos, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Every degree is fixed by the radix-regular shape, so adjacency
-	// storage is reserved in two arena allocations before wiring.
-	upDeg := make([]int, p.Levels)
-	downDeg := make([]int, p.Levels)
-	for i := 0; i < p.Levels-1; i++ {
-		upDeg[i] = half
-		downDeg[i+1] = sizes[i] * half / sizes[i+1]
-	}
-	c.ReserveDegrees(upDeg, downDeg)
+	c.SetLevelSink(sink)
 	for i := 0; i < p.Levels-1; i++ {
 		nA, nB := sizes[i], sizes[i+1]
 		dB := nA * half / nB // R/2 below the top pair, R at the top pair
@@ -47,12 +47,14 @@ func Generate(p Params, r *rng.Rand) (*topology.Clos, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: level %d-%d wiring: %w", i+1, i+2, err)
 		}
+		e := c.WireLevel(i+1, nA*half)
 		for a, ns := range bp.AdjA {
 			sa := c.SwitchID(i+1, a)
 			for _, b := range ns {
-				c.AddLink(sa, c.SwitchID(i+2, int(b)))
+				e.Link(sa, c.SwitchID(i+2, int(b)))
 			}
 		}
+		e.Seal()
 	}
 	return c, nil
 }
@@ -67,11 +69,17 @@ func GenerateRoutable(p Params, maxAttempts int, r *rng.Rand) (*topology.Clos, *
 		maxAttempts = 20
 	}
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
-		c, err := Generate(p, r)
+		// Stream each attempt: descendant sets are compressed level by level
+		// while the bipartite wiring of the next level pair is drawn, so an
+		// attempt never holds the full graph and full uncompressed state at
+		// once. The result is identical to routing.New on the finished
+		// topology.
+		rs := routing.NewRebuildStream()
+		c, err := GenerateStream(p, r, rs)
 		if err != nil {
 			return nil, nil, attempt, err
 		}
-		ud := routing.New(c)
+		ud := rs.Finish(c)
 		if ud.Routable() {
 			return c, ud, attempt, nil
 		}

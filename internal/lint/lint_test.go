@@ -22,7 +22,7 @@ import (
 // entry overrides the deterministic set.
 func fixtureConfig(t *testing.T, module string) *Config {
 	t.Helper()
-	det := []string{"nondet", "maprange", "splitpar", "seedcoord", "serverpkg", "leafsetpkg"}
+	det := []string{"nondet", "maprange", "splitpar", "seedcoord", "serverpkg", "leafsetpkg", "csrpkg"}
 	cfg := &Config{
 		Server:     []string{module + "/internal/lint/testdata/src/serverpkg"},
 		AllowFiles: []string{"testdata/src/nondet/allowed_file.go"},
@@ -111,7 +111,7 @@ func sortedSet(s map[string]bool) []string {
 func TestFixtures(t *testing.T) {
 	ld := newTestLoader(t)
 	cfg := fixtureConfig(t, ld.Module)
-	for _, pkg := range []string{"nondet", "maprange", "splitpar", "seedcoord", "freepkg", "serverpkg", "leafsetpkg"} {
+	for _, pkg := range []string{"nondet", "maprange", "splitpar", "seedcoord", "freepkg", "serverpkg", "leafsetpkg", "csrpkg"} {
 		t.Run(pkg, func(t *testing.T) {
 			dir := filepath.Join("testdata", "src", pkg)
 			findings, err := Run(cfg, ld, []string{dir})

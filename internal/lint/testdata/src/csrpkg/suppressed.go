@@ -1,0 +1,13 @@
+package csrpkg
+
+// overlayTouchedRows collects which switches have materialised overlay
+// rows, for a debug counter treated as an unordered set — the annotation
+// documents the exception.
+func overlayTouchedRows(ovl map[int32][]int32) []int32 {
+	var out []int32
+	//rfclint:allow map-range-order -- debug counter, result is an unordered set
+	for s := range ovl {
+		out = append(out, s)
+	}
+	return out
+}

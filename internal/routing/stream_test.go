@@ -1,0 +1,117 @@
+package routing_test
+
+import (
+	"testing"
+
+	"rfclos/internal/core"
+	"rfclos/internal/rng"
+	"rfclos/internal/routing"
+	"rfclos/internal/topology"
+)
+
+// TestRebuildStreamMatchesBatch pins the streamed routing construction to
+// the batch one: for a structured topology (XGFT, interval fast path) and a
+// random one (RFC, builder-union path), the state built level by level
+// during wiring must be indistinguishable from routing.New on the finished
+// graph — same byte accounting, same container mix, same MinTurn answer for
+// every leaf pair.
+func TestRebuildStreamMatchesBatch(t *testing.T) {
+	cases := []struct {
+		name    string
+		streamy func(sink topology.LevelSink) *topology.Clos
+	}{
+		{"xgft", func(sink topology.LevelSink) *topology.Clos {
+			c, err := topology.NewXGFTStream([]int{3, 4, 5}, []int{1, 2, 2}, 16, sink)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}},
+		{"cft", func(sink topology.LevelSink) *topology.Clos {
+			c, err := topology.NewCFTStream(8, 3, sink)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}},
+		{"oft", func(sink topology.LevelSink) *topology.Clos {
+			c, err := topology.NewOFTStream(2, 3, sink)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}},
+		{"rfc", func(sink topology.LevelSink) *topology.Clos {
+			c, err := core.GenerateStream(core.Params{Radix: 8, Leaves: 32, Levels: 3}, rng.New(7), sink)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rs := routing.NewRebuildStream()
+			c := tc.streamy(rs)
+			streamed := rs.Finish(c)
+
+			// Same wiring, batch construction. The builders are
+			// deterministic (the RFC case re-draws from an equal-seed rng),
+			// so both routers see identical graphs.
+			batch := routing.New(tc.streamy(nil))
+
+			if got, want := streamed.CoverBytes(), batch.CoverBytes(); got != want {
+				t.Fatalf("CoverBytes: streamed %d, batch %d", got, want)
+			}
+			if got, want := streamed.CoverRepr(), batch.CoverRepr(); got != want {
+				t.Fatalf("CoverRepr: streamed %q, batch %q", got, want)
+			}
+			if got, want := streamed.Routable(), batch.Routable(); got != want {
+				t.Fatalf("Routable: streamed %v, batch %v", got, want)
+			}
+			n1 := c.LevelSize(1)
+			for src := 0; src < n1; src++ {
+				for dst := 0; dst < n1; dst++ {
+					if got, want := streamed.MinTurn(src, dst), batch.MinTurn(src, dst); got != want {
+						t.Fatalf("MinTurn(%d,%d): streamed %d, batch %d", src, dst, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGenerateRoutableStreams checks the streamed GenerateRoutable path is
+// byte-equivalent to generating the same attempts and routing them in
+// batch: same topology, same attempt count, same routing answers.
+func TestGenerateRoutableStreams(t *testing.T) {
+	p := core.Params{Radix: 8, Leaves: 64, Levels: 3}
+	c, ud, attempts, err := core.GenerateRoutable(p, 20, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := rng.New(11)
+	var want *topology.Clos
+	for a := 1; a <= attempts; a++ {
+		var err error
+		want, err = core.Generate(p, r2)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	gotLinks, wantLinks := c.Links(), want.Links()
+	if len(gotLinks) != len(wantLinks) {
+		t.Fatalf("link counts differ: %d vs %d", len(gotLinks), len(wantLinks))
+	}
+	for i := range wantLinks {
+		if gotLinks[i] != wantLinks[i] {
+			t.Fatalf("link %d: streamed %v, replay %v", i, gotLinks[i], wantLinks[i])
+		}
+	}
+	if !ud.Routable() {
+		t.Fatal("GenerateRoutable returned an unroutable router")
+	}
+	if got, want := ud.CoverBytes(), routing.New(want).CoverBytes(); got != want {
+		t.Fatalf("CoverBytes: streamed %d, batch %d", got, want)
+	}
+}

@@ -97,35 +97,24 @@ func (u *UpDown) CoverRepr() string {
 // scratch at all, and when the topology declares contiguous descendant
 // ranges (Clos.LeafRange, set by the XGFT family) desc sets are built
 // directly from the declared interval.
+//
+// Rebuild is the batch entry point over a finished topology; it shares its
+// per-level machinery with RebuildStream (stream.go), which computes the
+// same state incrementally as builders seal CSR levels.
 func (u *UpDown) Rebuild() {
+	rs := NewRebuildStream()
+	fin := rs.Finish(u.c)
+	u.cover = fin.cover
+	u.n1 = fin.n1
+}
+
+// finishCovers builds cover_r for r = 1..l-1 over the completed up-wiring,
+// assuming u.cover[0] (desc) is already in place; cover_r(s) exists only
+// for switches at levels 1..l-r.
+func (u *UpDown) finishCovers(bld *leafSetBuilder) {
 	c := u.c
 	l := c.Levels()
 	total := c.NumSwitches()
-	u.cover = make([][]LeafSet, l)
-	bld := newLeafSetBuilder(u.n1)
-
-	// cover_0 = descendant sets, computed level by level bottom-up.
-	desc := make([]LeafSet, total)
-	for i := 0; i < u.n1; i++ {
-		desc[c.SwitchID(1, i)] = newSingletonLeafSet(u.n1, i)
-	}
-	for lev := 2; lev <= l; lev++ {
-		for i := 0; i < c.LevelSize(lev); i++ {
-			s := c.SwitchID(lev, i)
-			if lo, hi, ok := c.LeafRange(s); ok {
-				desc[s] = leafSetFromRange(u.n1, lo, hi)
-				continue
-			}
-			bld.reset()
-			for _, ch := range c.Down(s) {
-				bld.add(desc[ch])
-			}
-			desc[s] = bld.finish()
-		}
-	}
-	u.cover[0] = desc
-
-	// cover_r for r = 1..l-1, only for switches at levels 1..l-r.
 	for r := 1; r < l; r++ {
 		cov := make([]LeafSet, total)
 		prev := u.cover[r-1]

@@ -31,12 +31,23 @@ type Cache struct {
 }
 
 type cacheEntry struct {
-	key   string
-	ready chan struct{} // closed when topo/err are final
-	done  bool          // guarded by Cache.mu; true once ready is closed
-	cost  int64         // MemBytes at insertion; guarded by Cache.mu
-	topo  *Topology
-	err   error
+	key       string
+	ready     chan struct{} // closed when topo/err are final
+	done      bool          // guarded by Cache.mu; true once ready is closed
+	cost      int64         // MemBytes at insertion; guarded by Cache.mu
+	topoBytes int64         // adjacency-store share of cost; guarded by Cache.mu
+	topo      *Topology
+	err       error
+}
+
+// storeBytes is the adjacency-store share of a build's cost: CSR base plus
+// mutation overlay for folded Clos builds, zero for RRN (whose graph is not
+// level-structured). It feeds the rfcd_topology_bytes gauge.
+func storeBytes(t *Topology) int64 {
+	if t == nil || t.Clos == nil {
+		return 0
+	}
+	return int64(t.Clos.StoreBytes())
 }
 
 // DefaultCacheBytes is the default cache byte budget (8 GiB): enough for a
@@ -122,8 +133,10 @@ func (c *Cache) Get(sp Spec) (*Topology, bool, error) {
 		// Charge the finished build against the byte budget (the cost is
 		// measured once, at insertion) and evict down to it.
 		e.cost = topo.MemBytes()
+		e.topoBytes = storeBytes(topo)
 		c.bytes += e.cost
 		c.reg.Add(metricCacheBytes, e.cost)
+		c.reg.Add(metricTopologyBytes, e.topoBytes)
 		c.evictLocked()
 	}
 	c.mu.Unlock()
@@ -170,6 +183,7 @@ func (c *Cache) evictLocked() {
 			delete(c.items, e.key)
 			c.bytes -= e.cost
 			c.reg.Add(metricCacheBytes, -e.cost)
+			c.reg.Add(metricTopologyBytes, -e.topoBytes)
 			c.reg.Add(metricCacheEvictions, 1)
 		}
 		el = prev

@@ -23,6 +23,12 @@ const (
 	// estimated resident bytes of ready cached builds (incremented on
 	// insertion, decremented on eviction).
 	metricCacheBytes = "rfcd_cache_bytes"
+	// metricTopologyBytes is a gauge like metricCacheBytes, tracking only
+	// the adjacency-store share of the cached builds: CSR base + mutation
+	// overlay (Clos.StoreBytes). Together the two gauges explain
+	// cache-budget evictions from /metrics alone — the difference is what
+	// routers and indexes cost on top of the raw topologies.
+	metricTopologyBytes = "rfcd_topology_bytes"
 )
 
 // Registry is a tiny atomic-counter metrics registry: named monotonic

@@ -186,6 +186,21 @@ func TestPaperScaleServing(t *testing.T) {
 		t.Fatalf("CoverBytes = %d, want <= 1%% of the plain-bitset cost %d", sum.CoverBytes, plain)
 	}
 
+	// The arena→CSR acceptance at 262144 leaves: the CSR level store must
+	// stay measurably below the old [][]int32 arena footprint — 8 bytes per
+	// wire in each direction plus two 24-byte slice headers per switch,
+	// which per-switch headers dominated at this scale.
+	arena := int64(topo.Clos.Wires())*8 + int64(topo.Clos.NumSwitches())*48
+	if got := int64(topo.Clos.StoreBytes()); got*4 > arena*3 {
+		t.Fatalf("StoreBytes = %d, want <= 75%% of the old arena cost %d", got, arena)
+	}
+
+	// The topology-store gauge must account exactly the cached build's CSR
+	// + overlay bytes.
+	if got, want := srv.Metrics().Value("rfcd_topology_bytes"), int64(topo.Clos.StoreBytes()); got != want {
+		t.Fatalf("rfcd_topology_bytes = %d, want %d", got, want)
+	}
+
 	resp, err = http.Get(ts.URL + "/v1/path?key=" + sum.Key + "&src=0&dst=262143")
 	if err != nil {
 		t.Fatal(err)
@@ -235,6 +250,120 @@ func TestPaperScaleServing(t *testing.T) {
 		}
 		if wantHops := 2 * want; res.Hops != wantHops {
 			t.Fatalf("batch pair %v hops = %d, want %d", pair, res.Hops, wantHops)
+		}
+	}
+}
+
+// millionSwitchSpec is the >1M-switch serving topology the CSR level store
+// exists for: a 3-level XGFT with N1 = N2 = 524288 and N3 = 16 — 1,048,592
+// switches, 2,097,152 terminals, ~5.2M wires. The old arena representation
+// charged ~50 MB of per-switch slice headers on top of the wire data; the
+// CSR store is two flat arrays per level/direction, and the streamed build
+// never materialises wiring scratch and uncompressed covers together.
+func millionSwitchSpec() Spec {
+	return Spec{Kind: "xgft", M: []int{4, 8, 65536}, W: []int{1, 8, 2}, Radix: 65536}
+}
+
+// TestMillionSwitchServing is the >1M-switch smoke: the 524288-leaf build
+// is wired level by level into the CSR store, indexed (succinct tier), and
+// serves GET /v1/path and POST /v1/paths through the full handler stack.
+// CI runs it under GOMEMLIMIT=4GiB next to the 64K and 262144-leaf smokes.
+func TestMillionSwitchServing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-switch smoke test skipped in -short mode")
+	}
+	srv := New(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, err := json.Marshal(millionSwitchSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/topology", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum TopologySummary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/topology: status %d", resp.StatusCode)
+	}
+	const n1 = 524288
+	if sum.IndexLeaves != n1 {
+		t.Fatalf("IndexLeaves = %d, want %d (maxSuccinctLeaves must admit the million-switch build)", sum.IndexLeaves, n1)
+	}
+	if sum.IndexTier != "succinct" {
+		t.Fatalf("IndexTier = %q, want succinct", sum.IndexTier)
+	}
+	if !sum.Routable {
+		t.Fatal("the XGFT must be routable")
+	}
+	if sum.Switches <= 1<<20 {
+		t.Fatalf("Switches = %d, want > 2^20", sum.Switches)
+	}
+	if sum.Terminals < 2<<20 {
+		t.Fatalf("Terminals = %d, want >= 2M", sum.Terminals)
+	}
+
+	topo, ok := srv.Cache().Lookup(sum.Key)
+	if !ok {
+		t.Fatal("built topology missing from cache")
+	}
+	// The stored graph must stay wire-proportional: well under the old
+	// arena's ~90 MB (wires*8 + switches*48) and its covers compressed.
+	arena := int64(topo.Clos.Wires())*8 + int64(topo.Clos.NumSwitches())*48
+	if got := int64(topo.Clos.StoreBytes()); got*4 > arena*3 {
+		t.Fatalf("StoreBytes = %d, want <= 75%% of the old arena cost %d", got, arena)
+	}
+	if plain := plainCoverCost(topo); int64(topo.Router.CoverBytes())*100 > plain {
+		t.Fatalf("CoverBytes = %d, want <= 1%% of the plain-bitset cost %d", topo.Router.CoverBytes(), plain)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/path?key=" + sum.Key + "&src=0&dst=524287")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr PathResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/path: status %d", resp.StatusCode)
+	}
+	if !pr.Routable || pr.MinTurn == nil || *pr.MinTurn <= 0 {
+		t.Fatalf("path 0->524287 not served: %+v", pr)
+	}
+
+	pairs := [][2]int{{0, 524287}, {0, 1}, {7, 7}, {262144, 99}}
+	payload, err := json.Marshal(PathsRequest{Key: sum.Key, Pairs: pairs, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/v1/paths", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch PathsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/paths: status %d", resp.StatusCode)
+	}
+	if batch.Count != len(pairs) || len(batch.Paths) != len(pairs) {
+		t.Fatalf("batch returned %d/%d results, want %d", batch.Count, len(batch.Paths), len(pairs))
+	}
+	for i, pair := range pairs {
+		res := batch.Paths[i]
+		want := topo.Router.MinTurn(pair[0], pair[1])
+		if res.MinTurn == nil || *res.MinTurn != want || !res.Routable {
+			t.Fatalf("batch pair %v MinTurn = %v routable=%v, router says %d", pair, res.MinTurn, res.Routable, want)
 		}
 	}
 }

@@ -209,6 +209,12 @@ func Build(sp Spec) (*Topology, error) {
 func BuildIndexed(sp Spec, denseIndexBytes int) (*Topology, error) {
 	start := time.Now()
 	t := &Topology{Key: sp.Key(), Canon: sp.Canonical(), Spec: sp}
+	// Every deterministic folded Clos kind builds through the streaming
+	// path: the builder seals CSR level pairs bottom-up and the attached
+	// RebuildStream compresses descendant sets as each pair lands, so a
+	// >1M-switch build never holds wiring scratch and uncompressed routing
+	// state at once. The rfc kind streams inside GenerateRoutable.
+	rs := routing.NewRebuildStream()
 	var err error
 	switch sp.Kind {
 	case "rfc":
@@ -219,13 +225,13 @@ func BuildIndexed(sp Spec, denseIndexBytes int) (*Topology, error) {
 		}
 		t.Routable = true
 	case "cft":
-		t.Clos, err = topology.NewCFT(sp.Radix, sp.Levels)
+		t.Clos, err = topology.NewCFTStream(sp.Radix, sp.Levels, rs)
 	case "kary":
-		t.Clos, err = topology.NewKaryTree(sp.K, sp.Levels)
+		t.Clos, err = topology.NewKaryTreeStream(sp.K, sp.Levels, rs)
 	case "oft":
-		t.Clos, err = topology.NewOFT(sp.Q, sp.Levels)
+		t.Clos, err = topology.NewOFTStream(sp.Q, sp.Levels, rs)
 	case "xgft":
-		t.Clos, err = topology.NewXGFT(sp.M, sp.W, sp.Radix)
+		t.Clos, err = topology.NewXGFTStream(sp.M, sp.W, sp.Radix, rs)
 	case "rrn":
 		t.RRN, err = topology.NewRRN(sp.N, sp.Degree, sp.Terms, rng.New(sp.Seed))
 		if err != nil {
@@ -243,7 +249,7 @@ func BuildIndexed(sp Spec, denseIndexBytes int) (*Topology, error) {
 			return nil, fmt.Errorf("service: %s exceeds the %d-switch serving limit", t.Canon, maxSwitches)
 		}
 		if t.Router == nil {
-			t.Router = routing.New(t.Clos)
+			t.Router = rs.Finish(t.Clos)
 			t.Routable = t.Router.Routable()
 		}
 		if t.Clos.LevelSize(1) <= maxSuccinctLeaves {
@@ -280,17 +286,18 @@ func (t *Topology) Wires() int {
 	return t.Clos.Wires()
 }
 
-// MemBytes estimates the resident cost of the cached build: adjacency lists
-// (two int32 endpoints per wire plus slice headers), the router's
-// compressed cover containers (UpDown.CoverBytes via SizeBytes), and the
-// turn index. The cache charges this against its byte budget, so one huge
-// build evicts many small ones rather than none.
+// MemBytes estimates the resident cost of the cached build: the topology's
+// own accounting of its CSR level store plus mutation overlay
+// (Clos.StoreBytes), the router's compressed cover containers
+// (UpDown.CoverBytes via SizeBytes), and the turn index. The cache charges
+// this against its byte budget, so one huge build evicts many small ones
+// rather than none.
 func (t *Topology) MemBytes() int64 {
 	const sliceHeader = 24
 	if t.RRN != nil {
 		return int64(t.RRN.Wires())*8 + int64(t.RRN.N())*sliceHeader
 	}
-	n := int64(t.Clos.Wires())*8 + int64(t.Clos.NumSwitches())*2*sliceHeader
+	n := int64(t.Clos.StoreBytes())
 	if t.Router != nil {
 		n += int64(t.Router.SizeBytes())
 	}

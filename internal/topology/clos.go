@@ -7,6 +7,7 @@ package topology
 
 import (
 	"fmt"
+	"slices"
 
 	"rfclos/internal/graph"
 )
@@ -19,6 +20,11 @@ import (
 // Switches carry global ids: level 1 occupies [0, N_1), level 2 the next
 // N_2 ids, and so on. Terminals (compute nodes) are implicit: terminal t
 // attaches to leaf switch t / TermsPerLeaf.
+//
+// Adjacency lives in the CSR level store defined in csr.go: per level and
+// direction one immutable offsets + neighbours block, sealed by the
+// builders through LevelEmitter, with AddLink/RemoveLink churn layered in a
+// per-switch overlay on top.
 type Clos struct {
 	// Radix is the nominal switch radix R (number of ports). Builders keep
 	// every switch within this budget; Validate checks it.
@@ -28,20 +34,32 @@ type Clos struct {
 
 	levelSize []int   // switch count per level, index 0 = level 1 (leaves)
 	offset    []int32 // offset[i] = global id of first switch at level i+1
-	up        [][]int32
-	down      [][]int32
+	// up[i] / down[i] are the sealed CSR blocks of level i+1's up- and
+	// down-links. down[0] and up[l-1] stay empty: leaves have no down-links
+	// and roots no up-links.
+	up   []csrLevel
+	down []csrLevel
+	// ovl overrides the CSR rows of switches touched by AddLink/RemoveLink;
+	// nil until the first mutation.
+	ovl *overlay
+	// wires counts inter-switch links, maintained by Seal and the mutators.
+	wires int
+	// sink, when set, observes level pairs as builders seal them.
+	sink LevelSink
 	// leafRange, when non-nil, records for every switch s the contiguous
 	// descendant-leaf interval [leafRange[2s], leafRange[2s+1]). Builders
 	// whose wiring makes every descendant set contiguous (the XGFT family)
-	// install it after construction; any later link mutation drops it, so a
-	// present range is always trustworthy. Routing builds descendant sets
-	// directly from these intervals instead of unioning children.
+	// install it; any later link mutation materialises the overlay and
+	// thereby drops it, so a present range is always trustworthy. Routing
+	// builds descendant sets directly from these intervals instead of
+	// unioning children.
 	leafRange []int32
 }
 
 // NewEmpty creates a Clos with the given per-level switch counts and no
-// inter-level links. Links are added with AddLink; the caller is responsible
-// for wiring a pattern that Validate accepts.
+// inter-level links. Builders wire it either level pair by level pair via
+// WireLevel, or link by link via AddLink; the caller is responsible for a
+// pattern that Validate accepts.
 func NewEmpty(levelSize []int, termsPerLeaf, radix int) (*Clos, error) {
 	if len(levelSize) < 2 {
 		return nil, fmt.Errorf("topology: need at least 2 levels, got %d", len(levelSize))
@@ -63,8 +81,8 @@ func NewEmpty(levelSize []int, termsPerLeaf, radix int) (*Clos, error) {
 		TermsPerLeaf: termsPerLeaf,
 		levelSize:    append([]int(nil), levelSize...),
 		offset:       offset,
-		up:           make([][]int32, total),
-		down:         make([][]int32, total),
+		up:           make([]csrLevel, len(levelSize)),
+		down:         make([]csrLevel, len(levelSize)),
 	}, nil
 }
 
@@ -107,13 +125,20 @@ func (c *Clos) IndexInLevel(s int32) int {
 func (c *Clos) LeafOfTerminal(t int) int32 { return int32(t / c.TermsPerLeaf) }
 
 // Up returns the up-neighbour switch ids of s (owned by the Clos).
-func (c *Clos) Up(s int32) []int32 { return c.up[s] }
+func (c *Clos) Up(s int32) []int32 {
+	lev := c.LevelOf(s)
+	return c.upAt(lev, int(s-c.offset[lev-1]))
+}
 
 // Down returns the down-neighbour switch ids of s (owned by the Clos).
-func (c *Clos) Down(s int32) []int32 { return c.down[s] }
+func (c *Clos) Down(s int32) []int32 {
+	lev := c.LevelOf(s)
+	return c.downAt(lev, int(s-c.offset[lev-1]))
+}
 
 // setLeafRanges installs builder-computed contiguous descendant leaf
-// ranges (see the leafRange field). Builders call it once, after wiring.
+// ranges (see the leafRange field). Builders call it once; XGFT declares
+// the ranges before wiring so level sinks can use them mid-build.
 func (c *Clos) setLeafRanges(r []int32) { c.leafRange = r }
 
 // LeafRange returns the contiguous descendant leaf interval [lo, hi) of
@@ -127,36 +152,46 @@ func (c *Clos) LeafRange(s int32) (lo, hi int, ok bool) {
 }
 
 // AddLink wires switch a at some level i to switch b at level i+1. Both are
-// global ids; the call panics if they are not on adjacent levels.
+// global ids; the call panics if they are not on adjacent levels. The link
+// lands in the overlay, leaving sealed CSR blocks untouched.
 func (c *Clos) AddLink(a, b int32) {
 	la, lb := c.LevelOf(a), c.LevelOf(b)
 	if lb != la+1 {
 		panic(fmt.Sprintf("topology: AddLink(%d@L%d, %d@L%d): not adjacent levels", a, la, b, lb))
 	}
-	c.leafRange = nil
-	c.up[a] = append(c.up[a], b)
-	c.down[b] = append(c.down[b], a)
+	c.touchUp(a, la)
+	c.touchDown(b, lb)
+	c.ovl.up[a] = append(c.ovl.up[a], b)
+	c.ovl.down[b] = append(c.ovl.down[b], a)
+	c.wires++
 }
 
 // RemoveLink deletes one a—b link (a at the lower level). It reports whether
-// a link was removed. Used by the fault-injection experiments.
+// a link was removed. Used by the fault-injection experiments. Removal keeps
+// the old arena's swap-with-last order so neighbour iteration — and the rng
+// consumption of routing's port pickers — is unchanged by the CSR store.
 func (c *Clos) RemoveLink(a, b int32) bool {
-	if !removeOne(&c.up[a], b) {
+	if !slices.Contains(c.Up(a), b) {
 		return false
 	}
-	c.leafRange = nil
-	if !removeOne(&c.down[b], a) {
+	la := c.LevelOf(a)
+	c.touchUp(a, la)
+	c.touchDown(b, la+1)
+	removeOne(c.ovl.up, a, b)
+	if !removeOne(c.ovl.down, b, a) {
 		panic("topology: asymmetric link state")
 	}
+	c.wires--
 	return true
 }
 
-func removeOne(list *[]int32, v int32) bool {
-	l := *list
+// removeOne swap-removes v from m[s], reporting whether it was present.
+func removeOne(m map[int32][]int32, s, v int32) bool {
+	l := m[s]
 	for i, w := range l {
 		if w == v {
 			l[i] = l[len(l)-1]
-			*list = l[:len(l)-1]
+			m[s] = l[:len(l)-1]
 			return true
 		}
 	}
@@ -179,13 +214,7 @@ func (c *Clos) Links() []Link {
 
 // Wires returns the number of inter-switch links (network wires, excluding
 // terminal attachments), matching the paper's cost accounting in §5.
-func (c *Clos) Wires() int {
-	n := 0
-	for _, ns := range c.up {
-		n += len(ns)
-	}
-	return n
-}
+func (c *Clos) Wires() int { return c.wires }
 
 // NetworkPorts returns the number of switch ports used by inter-switch
 // links (twice Wires).
@@ -195,73 +224,60 @@ func (c *Clos) NetworkPorts() int { return 2 * c.Wires() }
 // terminal-facing ports. Figure 7 plots this as the raw cost measure.
 func (c *Clos) TotalPorts() int { return c.NetworkPorts() + c.Terminals() }
 
-// Clone returns a deep copy (used by destructive fault sweeps). Adjacency
-// lists are copied into two shared arenas — two allocations instead of two
-// per switch, which matters when fault sweeps clone million-switch builds.
+// Clone returns a deep copy (used by destructive fault sweeps). The sealed
+// CSR blocks are immutable and shared with the clone — only the overlay and
+// the leaf-range table are copied — so cloning a million-switch build costs
+// bytes proportional to its fault churn, not its size.
 func (c *Clos) Clone() *Clos {
 	cp := &Clos{
 		Radix:        c.Radix,
 		TermsPerLeaf: c.TermsPerLeaf,
 		levelSize:    append([]int(nil), c.levelSize...),
 		offset:       append([]int32(nil), c.offset...),
-		up:           cloneArena(c.up),
-		down:         cloneArena(c.down),
+		up:           slices.Clone(c.up),
+		down:         slices.Clone(c.down),
+		wires:        c.wires,
 		leafRange:    append([]int32(nil), c.leafRange...),
 	}
+	if c.ovl != nil {
+		cp.ovl = c.ovl.clone()
+	}
 	return cp
-}
-
-// cloneArena deep-copies adjacency lists into one backing array with each
-// sub-slice capacity-pinned, so later RemoveLink/AddLink on the clone cannot
-// touch a neighbour's region.
-func cloneArena(lists [][]int32) [][]int32 {
-	total := 0
-	for _, l := range lists {
-		total += len(l)
-	}
-	arena := make([]int32, 0, total)
-	out := make([][]int32, len(lists))
-	for i, l := range lists {
-		pos := len(arena)
-		arena = append(arena, l...)
-		out[i] = arena[pos:len(arena):len(arena)]
-	}
-	return out
 }
 
 // SwitchGraph returns the undirected switch-to-switch graph, the object the
 // disconnection experiments (Table 3) and diameter checks operate on.
 func (c *Clos) SwitchGraph() *graph.Graph {
 	g := graph.New(c.NumSwitches())
-	for s := range c.up {
-		for _, b := range c.up[s] {
-			g.AddEdge(s, int(b))
-		}
+	for l := range c.EdgeSeq() {
+		g.AddEdge(int(l.A), int(l.B))
 	}
 	return g
 }
 
 // Validate checks structural sanity: links only between adjacent levels
-// (guaranteed by AddLink), no switch exceeding the radix, every switch
-// connected on its mandatory sides, and no duplicate parallel links.
+// (guaranteed by AddLink and the emitters), no switch exceeding the radix,
+// every switch connected on its mandatory sides, and no duplicate parallel
+// links.
 func (c *Clos) Validate() error {
 	l := c.Levels()
 	for s := int32(0); s < int32(c.NumSwitches()); s++ {
 		lev := c.LevelOf(s)
-		ports := len(c.up[s]) + len(c.down[s])
+		up, down := c.Up(s), c.Down(s)
+		ports := len(up) + len(down)
 		if lev == 1 {
 			ports += c.TermsPerLeaf
 		}
 		if c.Radix > 0 && ports > c.Radix {
 			return fmt.Errorf("topology: switch %d (level %d) uses %d ports > radix %d", s, lev, ports, c.Radix)
 		}
-		if lev < l && len(c.up[s]) == 0 {
+		if lev < l && len(up) == 0 {
 			return fmt.Errorf("topology: switch %d (level %d) has no up-links", s, lev)
 		}
-		if lev > 1 && len(c.down[s]) == 0 {
+		if lev > 1 && len(down) == 0 {
 			return fmt.Errorf("topology: switch %d (level %d) has no down-links", s, lev)
 		}
-		if dup := findDup(c.up[s]); dup >= 0 {
+		if dup := findDup(up); dup >= 0 {
 			return fmt.Errorf("topology: switch %d has parallel up-links to %d", s, dup)
 		}
 	}
@@ -280,22 +296,23 @@ func (c *Clos) ValidateRadixRegular() error {
 	l := c.Levels()
 	for s := int32(0); s < int32(c.NumSwitches()); s++ {
 		lev := c.LevelOf(s)
+		up, down := c.Up(s), c.Down(s)
 		switch {
 		case lev == 1:
 			if c.TermsPerLeaf != half {
 				return fmt.Errorf("topology: leaf has %d terminals, want R/2 = %d", c.TermsPerLeaf, half)
 			}
-			if len(c.up[s]) != half {
-				return fmt.Errorf("topology: leaf %d has %d up-links, want %d", s, len(c.up[s]), half)
+			if len(up) != half {
+				return fmt.Errorf("topology: leaf %d has %d up-links, want %d", s, len(up), half)
 			}
 		case lev < l:
-			if len(c.up[s]) != half || len(c.down[s]) != half {
+			if len(up) != half || len(down) != half {
 				return fmt.Errorf("topology: switch %d (level %d) has %d up / %d down, want %d/%d",
-					s, lev, len(c.up[s]), len(c.down[s]), half, half)
+					s, lev, len(up), len(down), half, half)
 			}
 		default:
-			if len(c.down[s]) > c.Radix {
-				return fmt.Errorf("topology: root %d has %d down-links > radix %d", s, len(c.down[s]), c.Radix)
+			if len(down) > c.Radix {
+				return fmt.Errorf("topology: root %d has %d down-links > radix %d", s, len(down), c.Radix)
 			}
 		}
 	}

@@ -69,16 +69,31 @@ func ReadJSON(r io.Reader) (*Clos, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Bucket links by lower-endpoint level, then seal one emitter per level
+	// pair. Bucketing preserves file order within each pair, and the
+	// emitter's stable grouping preserves order within each switch, so the
+	// loaded adjacency matches what link-by-link AddLink produced — but the
+	// graph lands in the immutable CSR base instead of the overlay.
 	total := int32(c.NumSwitches())
+	buckets := make([][]int32, c.Levels())
 	for i, l := range in.Links {
 		a, b := int32(l[0]), int32(l[1])
 		if a < 0 || a >= total || b < 0 || b >= total {
 			return nil, fmt.Errorf("topology: link %d (%d-%d) out of range", i, a, b)
 		}
-		if c.LevelOf(b) != c.LevelOf(a)+1 {
+		la := c.LevelOf(a)
+		if c.LevelOf(b) != la+1 {
 			return nil, fmt.Errorf("topology: link %d (%d-%d) not between adjacent levels", i, a, b)
 		}
-		c.AddLink(a, b)
+		buckets[la-1] = append(buckets[la-1], a, b)
+	}
+	for lev := 1; lev < c.Levels(); lev++ {
+		pairs := buckets[lev-1]
+		e := c.WireLevel(lev, len(pairs)/2)
+		for j := 0; j+1 < len(pairs); j += 2 {
+			e.Link(pairs[j], pairs[j+1])
+		}
+		e.Seal()
 	}
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("topology: loaded network invalid: %w", err)

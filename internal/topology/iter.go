@@ -2,12 +2,11 @@ package topology
 
 import "iter"
 
-// This file is the capacity-aware iteration layer of Clos: links stream
-// level by level without materialising edge slices, and builders declare
-// per-level degrees up front so adjacency lists land in two shared arenas
-// instead of one allocation per switch. The encoders in io.go, the service
-// export endpoint, and cmd/rfcgen all consume these sequences, so
-// multi-gigabyte topologies export in constant memory.
+// This file is the iteration layer of Clos: links stream level by level
+// straight out of the CSR store without materialising edge slices. The
+// encoders in io.go, the service export endpoint, and cmd/rfcgen all
+// consume these sequences, so multi-gigabyte topologies export in constant
+// memory.
 
 // EdgeSeq yields every inter-switch link exactly once, in the canonical
 // order Links returns: ascending lower-endpoint switch id, up-neighbours in
@@ -15,11 +14,9 @@ import "iter"
 // the export formats' byte-identity contract.
 func (c *Clos) EdgeSeq() iter.Seq[Link] {
 	return func(yield func(Link) bool) {
-		for s := range c.up {
-			for _, b := range c.up[s] {
-				if !yield(Link{int32(s), b}) {
-					return
-				}
+		for level := 1; level < c.Levels(); level++ {
+			if !c.yieldLevel(level, yield) {
+				return
 			}
 		}
 	}
@@ -31,48 +28,21 @@ func (c *Clos) EdgeSeq() iter.Seq[Link] {
 // rest of the network.
 func (c *Clos) LinkSeq(level int) iter.Seq[Link] {
 	return func(yield func(Link) bool) {
-		lo := int(c.offset[level-1])
-		for i := 0; i < c.levelSize[level-1]; i++ {
-			s := int32(lo + i)
-			for _, b := range c.up[s] {
-				if !yield(Link{s, b}) {
-					return
-				}
+		c.yieldLevel(level, yield)
+	}
+}
+
+// yieldLevel streams the up-links of one level in switch-id order,
+// overlay-aware. It reports whether iteration ran to completion.
+func (c *Clos) yieldLevel(level int, yield func(Link) bool) bool {
+	lo := c.offset[level-1]
+	for i := 0; i < c.levelSize[level-1]; i++ {
+		s := lo + int32(i)
+		for _, b := range c.upAt(level, i) {
+			if !yield(Link{s, b}) {
+				return false
 			}
 		}
 	}
-}
-
-// ReserveDegrees preallocates adjacency storage from per-level degree
-// expectations: up[i] (resp. down[i]) is the up-degree (resp. down-degree)
-// every level-(i+1) switch will have. All lists for one direction share a
-// single arena, cut into capacity-pinned sub-slices, so a build performs two
-// adjacency allocations total instead of two per switch. Wiring beyond a
-// declared degree is still correct — append falls back to a per-switch
-// allocation — and Reserve must be called before any links are added.
-func (c *Clos) ReserveDegrees(up, down []int) {
-	c.up = reserveArena(c.levelSize, c.offset, up)
-	c.down = reserveArena(c.levelSize, c.offset, down)
-}
-
-// reserveArena carves one backing array into zero-length, capacity-pinned
-// adjacency slices (three-index slicing keeps appends from spilling into a
-// neighbour's region).
-func reserveArena(levelSize []int, offset []int32, deg []int) [][]int32 {
-	total := 0
-	for i, n := range levelSize {
-		total += n * deg[i]
-	}
-	arena := make([]int32, total)
-	lists := make([][]int32, int(offset[len(offset)-1])+levelSize[len(levelSize)-1])
-	pos := 0
-	for i, n := range levelSize {
-		d := deg[i]
-		for j := 0; j < n; j++ {
-			s := int(offset[i]) + j
-			lists[s] = arena[pos : pos : pos+d]
-			pos += d
-		}
-	}
-	return lists
+	return true
 }

@@ -56,9 +56,9 @@ func TestEdgeSeqMatchesLinks(t *testing.T) {
 	}
 }
 
-// TestCloneArenaIndependence checks the arena-backed Clone is a true deep
-// copy: mutating the clone (removing and re-adding links, including appends
-// past the pinned capacity) leaves the original untouched.
+// TestCloneArenaIndependence checks Clone isolates mutation even though the
+// sealed CSR base is shared: removing and re-adding links on the clone (the
+// overlay path) leaves the original untouched.
 func TestCloneArenaIndependence(t *testing.T) {
 	c, err := NewCFT(8, 3)
 	if err != nil {
@@ -84,25 +84,81 @@ func TestCloneArenaIndependence(t *testing.T) {
 	}
 }
 
-// TestReserveDegreesOverflow checks wiring past a reserved degree falls back
-// to per-switch allocation without corrupting a neighbour's arena region.
-func TestReserveDegreesOverflow(t *testing.T) {
+// TestAddLinkOverSealedLevels checks AddLink layers correctly over a store
+// whose levels were sealed by an emitter: overlay lists extend the CSR rows
+// without corrupting neighbouring switches.
+func TestAddLinkOverSealedLevels(t *testing.T) {
 	c, err := NewEmpty([]int{2, 2}, 1, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.ReserveDegrees([]int{1, 0}, []int{0, 1})
-	// Switch 0 gets two up-links despite a reserved degree of one.
-	c.AddLink(c.SwitchID(1, 0), c.SwitchID(2, 0))
+	e := c.WireLevel(1, 2)
+	e.Link(c.SwitchID(1, 0), c.SwitchID(2, 0))
+	e.Link(c.SwitchID(1, 1), c.SwitchID(2, 1))
+	e.Seal()
 	c.AddLink(c.SwitchID(1, 0), c.SwitchID(2, 1))
-	c.AddLink(c.SwitchID(1, 1), c.SwitchID(2, 1))
-	if got := len(c.Up(c.SwitchID(1, 0))); got != 2 {
-		t.Fatalf("switch 0 has %d up-links, want 2", got)
+	if got := c.Up(c.SwitchID(1, 0)); len(got) != 2 || got[0] != c.SwitchID(2, 0) || got[1] != c.SwitchID(2, 1) {
+		t.Fatalf("switch 0 up-links = %v, want sealed link then added link", got)
 	}
 	if got := c.Up(c.SwitchID(1, 1)); len(got) != 1 || got[0] != c.SwitchID(2, 1) {
 		t.Fatalf("switch 1 up-links corrupted: %v", got)
 	}
+	if got := c.Down(c.SwitchID(2, 1)); len(got) != 2 || got[0] != c.SwitchID(1, 1) || got[1] != c.SwitchID(1, 0) {
+		t.Fatalf("upper switch 1 down-links = %v, want sealed then added", got)
+	}
 	if c.Wires() != 3 {
 		t.Fatalf("Wires() = %d, want 3", c.Wires())
 	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEmitterOrderMatchesAddLink pins the stable-grouping contract: links
+// emitted in an arbitrary interleaved order produce exactly the per-switch
+// adjacency order a sequence of AddLink calls in the same order would.
+func TestEmitterOrderMatchesAddLink(t *testing.T) {
+	order := [][2]int{{1, 0}, {0, 1}, {1, 1}, {0, 0}, {2, 1}, {2, 0}}
+	build := func(emit bool) *Clos {
+		c, err := NewEmpty([]int{3, 2}, 1, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if emit {
+			e := c.WireLevel(1, len(order))
+			for _, p := range order {
+				e.Link(c.SwitchID(1, p[0]), c.SwitchID(2, p[1]))
+			}
+			e.Seal()
+		} else {
+			for _, p := range order {
+				c.AddLink(c.SwitchID(1, p[0]), c.SwitchID(2, p[1]))
+			}
+		}
+		return c
+	}
+	sealed, appended := build(true), build(false)
+	for s := int32(0); s < int32(sealed.NumSwitches()); s++ {
+		if got, want := sealed.Up(s), appended.Up(s); !equalInt32(got, want) {
+			t.Fatalf("switch %d up: emitter %v, AddLink %v", s, got, want)
+		}
+		if got, want := sealed.Down(s), appended.Down(s); !equalInt32(got, want) {
+			t.Fatalf("switch %d down: emitter %v, AddLink %v", s, got, want)
+		}
+	}
+	if sealed.Wires() != appended.Wires() {
+		t.Fatalf("wires: emitter %d, AddLink %d", sealed.Wires(), appended.Wires())
+	}
+}
+
+func equalInt32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -1,0 +1,119 @@
+// Regression tests for LeafRange invalidation through the mutation
+// overlay. The declared leaf intervals are only valid for the pristine
+// build: any real AddLink/RemoveLink changes descendant sets, so the first
+// overlay materialisation must drop them (routing then falls back to
+// per-switch union instead of serving stale intervals). A RemoveLink of an
+// absent link must NOT drop them — it touches nothing.
+package topology_test
+
+import (
+	"testing"
+
+	"rfclos/internal/topology"
+)
+
+func mustLeafRange(t *testing.T, c *topology.Clos, s int32) (int, int) {
+	t.Helper()
+	lo, hi, ok := c.LeafRange(s)
+	if !ok {
+		t.Fatalf("LeafRange(%d): intervals unexpectedly dropped", s)
+	}
+	return lo, hi
+}
+
+func TestLeafRangeDroppedByOverlay(t *testing.T) {
+	build := func(t *testing.T) *topology.Clos {
+		t.Helper()
+		c, err := topology.NewXGFT([]int{3, 4, 5}, []int{1, 2, 2}, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	t.Run("pristine build declares intervals", func(t *testing.T) {
+		c := build(t)
+		top := c.SwitchID(c.Levels(), 0)
+		if lo, hi := mustLeafRange(t, c, top); lo != 0 || hi != c.LevelSize(1) {
+			t.Fatalf("top switch interval = [%d,%d), want [0,%d)", lo, hi, c.LevelSize(1))
+		}
+	})
+
+	t.Run("RemoveLink drops intervals", func(t *testing.T) {
+		c := build(t)
+		var link topology.Link
+		for l := range c.EdgeSeq() {
+			link = l
+			break
+		}
+		if !c.RemoveLink(link.A, link.B) {
+			t.Fatalf("RemoveLink(%v) = false for an existing link", link)
+		}
+		if _, _, ok := c.LeafRange(0); ok {
+			t.Fatal("LeafRange still set after RemoveLink of an existing link")
+		}
+	})
+
+	t.Run("AddLink drops intervals", func(t *testing.T) {
+		c := build(t)
+		var link topology.Link
+		for l := range c.EdgeSeq() {
+			link = l
+			break
+		}
+		c.RemoveLink(link.A, link.B)
+		c2 := build(t)
+		c2.AddLink(link.A, link.B) // parallel wire, still adjacent levels
+		if _, _, ok := c2.LeafRange(0); ok {
+			t.Fatal("LeafRange still set after AddLink")
+		}
+	})
+
+	t.Run("absent-link RemoveLink preserves intervals", func(t *testing.T) {
+		c := build(t)
+		// Find any adjacent-level (leaf, parent) pair that is NOT wired.
+		var leaf, absent int32 = -1, -1
+	search:
+		for i := 0; i < c.LevelSize(1); i++ {
+			s := c.SwitchID(1, i)
+			up := c.Up(s)
+			for p := 0; p < c.LevelSize(2); p++ {
+				id := c.SwitchID(2, p)
+				linked := false
+				for _, u := range up {
+					if u == id {
+						linked = true
+						break
+					}
+				}
+				if !linked {
+					leaf, absent = s, id
+					break search
+				}
+			}
+		}
+		if absent < 0 {
+			t.Fatal("no unlinked adjacent pair in fixture")
+		}
+		if c.RemoveLink(leaf, absent) {
+			t.Fatalf("RemoveLink(%d,%d) = true for an absent link", leaf, absent)
+		}
+		mustLeafRange(t, c, leaf)
+	})
+
+	t.Run("clone keeps its own intervals", func(t *testing.T) {
+		c := build(t)
+		cp := c.Clone()
+		var link topology.Link
+		for l := range cp.EdgeSeq() {
+			link = l
+			break
+		}
+		cp.RemoveLink(link.A, link.B)
+		if _, _, ok := cp.LeafRange(0); ok {
+			t.Fatal("clone kept LeafRange after its own RemoveLink")
+		}
+		// The original's intervals must survive the clone's churn.
+		mustLeafRange(t, c, c.SwitchID(c.Levels(), 0))
+	})
+}

@@ -27,6 +27,13 @@ import (
 // the paper. Minimal up/down routes between leaves whose point digits all
 // differ are unique, reproducing the low path diversity the paper discusses.
 func NewOFT(q, levels int) (*Clos, error) {
+	return NewOFTStream(q, levels, nil)
+}
+
+// NewOFTStream is NewOFT with a level sink: level pairs are sealed
+// bottom-up, each handed to sink before the next is wired (see
+// NewXGFTStream).
+func NewOFTStream(q, levels int, sink LevelSink) (*Clos, error) {
 	if levels < 2 {
 		return nil, fmt.Errorf("topology: OFT needs >= 2 levels, got %d", levels)
 	}
@@ -52,6 +59,7 @@ func NewOFT(q, levels int) (*Clos, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.SetLevelSink(sink)
 
 	// Label encoding for levels 1..l-1: index = s + 2*mixed(d_1..d_{l-1})
 	// where d_j is x_j for j < i and p_j for j >= i, every digit radix n.
@@ -63,6 +71,7 @@ func NewOFT(q, levels int) (*Clos, error) {
 	// 0-based slot i-1) is the line x_i; the child replaces it with a point
 	// p_i on that line.
 	for i := 1; i+1 <= levels-1; i++ {
+		e := c.WireLevel(i, sizes[i]*(q+1))
 		for pIdx := 0; pIdx < sizes[i]; pIdx++ {
 			s := pIdx & 1
 			decodeUniform(pIdx>>1, n, digits)
@@ -71,13 +80,15 @@ func NewOFT(q, levels int) (*Clos, error) {
 			for _, pt := range plane.LinePoints[line] {
 				childDigits[i-1] = int(pt)
 				child := s + 2*encodeUniform(childDigits, n)
-				c.AddLink(c.SwitchID(i, child), c.SwitchID(i+1, pIdx))
+				e.Link(c.SwitchID(i, child), c.SwitchID(i+1, pIdx))
 			}
 		}
+		e.Seal()
 	}
 	// Level l-1 -> l: parent (x_1..x_{l-1}); children on both sides s with
 	// p_{l-1} on x_{l-1}.
 	topDigits := make([]int, levels-1)
+	e := c.WireLevel(levels-1, sizes[levels-1]*2*(q+1))
 	for pIdx := 0; pIdx < sizes[levels-1]; pIdx++ {
 		decodeUniform(pIdx, n, topDigits)
 		line := topDigits[levels-2]
@@ -86,10 +97,11 @@ func NewOFT(q, levels int) (*Clos, error) {
 			childDigits[levels-2] = int(pt)
 			base := encodeUniform(childDigits, n)
 			for s := 0; s < 2; s++ {
-				c.AddLink(c.SwitchID(levels-1, s+2*base), c.SwitchID(levels, pIdx))
+				e.Link(c.SwitchID(levels-1, s+2*base), c.SwitchID(levels, pIdx))
 			}
 		}
 	}
+	e.Seal()
 	return c, nil
 }
 

@@ -14,6 +14,14 @@ import "fmt"
 // therefore form complete bipartite K(m_{i+1}, w_{i+1}) blocks, which yields
 // a fat-tree in the sense of Definition 3.2 with arities k_i = m[i-1].
 func NewXGFT(m, w []int, radix int) (*Clos, error) {
+	return NewXGFTStream(m, w, radix, nil)
+}
+
+// NewXGFTStream is NewXGFT with a level sink: each level pair is sealed —
+// and handed to sink — before the next one is wired, so a streaming
+// consumer (routing cover construction) runs concurrently with wiring and
+// construction scratch never exceeds one level pair.
+func NewXGFTStream(m, w []int, radix int, sink LevelSink) (*Clos, error) {
 	h := len(m)
 	if h < 2 || len(w) != h {
 		return nil, fmt.Errorf("topology: XGFT needs len(m) == len(w) >= 2, got %d and %d", len(m), len(w))
@@ -48,25 +56,18 @@ func NewXGFT(m, w []int, radix int) (*Clos, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Degrees are known up front: a level-i switch has w[i] up-links
-	// (i < h) and m[i-1] down-links (terminals excluded at level 1), so the
-	// whole adjacency lands in two arena allocations.
-	upDeg := make([]int, h)
-	downDeg := make([]int, h)
-	for i := 0; i < h-1; i++ {
-		upDeg[i] = w[i+1]
-	}
-	for i := 1; i < h; i++ {
-		downDeg[i] = m[i]
-	}
-	c.ReserveDegrees(upDeg, downDeg)
-	wireXGFT(c, m, w, sizes)
+	// Descendant leaf intervals are label-derived, not wiring-derived, so
+	// they can be declared before any link exists — a level sink observing
+	// sealed levels mid-build already sees them (routing's streamed cover
+	// construction takes the interval fast path this way).
 	declareXGFTLeafRanges(c, m, w, sizes)
+	c.SetLevelSink(sink)
+	wireXGFT(c, m, w, sizes)
 	return c, nil
 }
 
-// wireXGFT adds the complete-bipartite block links of the XGFT label
-// scheme.
+// wireXGFT emits the complete-bipartite block links of the XGFT label
+// scheme, one sealed level pair at a time.
 func wireXGFT(c *Clos, m, w, sizes []int) {
 	h := len(m)
 	// Wire levels i -> i+1 for i = 1..h-1.
@@ -77,15 +78,17 @@ func wireXGFT(c *Clos, m, w, sizes []int) {
 		rx := labelRadices(m, w, i)
 		dy := make([]int, h)
 		dx := make([]int, h)
+		e := c.WireLevel(i, sizes[i]*m[i])
 		for p := 0; p < sizes[i]; p++ {
 			decodeMixed(p, ry, dy)
 			copy(dx, dy)
 			for cc := 0; cc < m[i]; cc++ {
 				dx[i] = cc // position i (0-based) holds the free digit
 				child := encodeMixed(dx, rx)
-				c.AddLink(c.SwitchID(i, child), c.SwitchID(i+1, p))
+				e.Link(c.SwitchID(i, child), c.SwitchID(i+1, p))
 			}
 		}
+		e.Seal()
 	}
 }
 
@@ -163,6 +166,11 @@ func encodeMixed(digits, radices []int) int {
 // fat-tree with arities k_1 = ... = k_{l-1} = R/2 and k_l = R. It connects
 // T = 2(R/2)^l terminals (§3).
 func NewCFT(radix, levels int) (*Clos, error) {
+	return NewCFTStream(radix, levels, nil)
+}
+
+// NewCFTStream is NewCFT with a level sink (see NewXGFTStream).
+func NewCFTStream(radix, levels int, sink LevelSink) (*Clos, error) {
 	if radix < 2 || radix%2 != 0 {
 		return nil, fmt.Errorf("topology: CFT radix must be even and >= 2, got %d", radix)
 	}
@@ -178,7 +186,7 @@ func NewCFT(radix, levels int) (*Clos, error) {
 	}
 	m[levels-1] = radix
 	w[0] = 1
-	return NewXGFT(m, w, radix)
+	return NewXGFTStream(m, w, radix, sink)
 }
 
 // NewCFTWithTerminals builds the R-commodity fat-tree wiring but attaches
@@ -212,6 +220,11 @@ func NewCFTWithTerminals(radix, levels, termsPerLeaf int) (*Clos, error) {
 // k^{l-1} switches, k terminals per leaf, T = k^l terminals. Its switches
 // have radix 2k.
 func NewKaryTree(k, levels int) (*Clos, error) {
+	return NewKaryTreeStream(k, levels, nil)
+}
+
+// NewKaryTreeStream is NewKaryTree with a level sink (see NewXGFTStream).
+func NewKaryTreeStream(k, levels int, sink LevelSink) (*Clos, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("topology: k-ary tree needs k >= 1, got %d", k)
 	}
@@ -225,5 +238,5 @@ func NewKaryTree(k, levels int) (*Clos, error) {
 		w[i] = k
 	}
 	w[0] = 1
-	return NewXGFT(m, w, 2*k)
+	return NewXGFTStream(m, w, 2*k, sink)
 }

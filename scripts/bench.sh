@@ -18,7 +18,10 @@
 #     and MinTurn lookup latency on a 4096-leaf XGFT
 #     (BenchmarkTurnIndexBuild / BenchmarkTurnIndexLookup), and
 #   - compressed cover sets: UpDown.Rebuild wall time plus compressed vs
-#     plain-bitset cover bytes on the same XGFT (BenchmarkCoverBuild).
+#     plain-bitset cover bytes on the same XGFT (BenchmarkCoverBuild), and
+#   - CSR level store: XGFT wiring time through the level emitter and the
+#     sealed store's bytes next to the pre-refactor [][]int32 arena cost
+#     model, at 64K and 512K leaves (BenchmarkTopologyBuild).
 #
 # Usage: scripts/bench.sh [reps] [cycles]
 set -eu
@@ -117,6 +120,29 @@ cov_plain_bytes=$(printf '%s\n' "$cov_out" | awk '$1 ~ /CoverBuild/ { for (i = 1
 : "${cov_bytes:?bench.sh: BenchmarkCoverBuild produced no cover-bytes metric}"
 : "${cov_plain_bytes:?bench.sh: BenchmarkCoverBuild produced no plain-bytes metric}"
 
+# CSR level store: wiring time and sealed-store footprint vs the old
+# [][]int32 arena cost model, at the scale_test sizes (64K / 512K leaves).
+topo_out=$(go test -run '^$' -bench BenchmarkTopologyBuild -benchtime 1x ./internal/topology/)
+topo_metric() { # $1 = leaves, $2 = metric unit (or "ns/op")
+	printf '%s\n' "$topo_out" | awk -v pat="TopologyBuild/leaves=$1" -v unit="$2" '
+		$1 ~ pat {
+			if (unit == "ns/op") { print $3; exit }
+			for (i = 1; i < NF; i++) if ($(i+1) == unit) { print $i; exit }
+		}'
+}
+topo64_ns=$(topo_metric 65536 ns/op)
+topo64_csr=$(topo_metric 65536 csr-bytes)
+topo64_arena=$(topo_metric 65536 arena-bytes)
+topo512_ns=$(topo_metric 524288 ns/op)
+topo512_csr=$(topo_metric 524288 csr-bytes)
+topo512_arena=$(topo_metric 524288 arena-bytes)
+: "${topo64_ns:?bench.sh: BenchmarkTopologyBuild produced no 64K ns/op}"
+: "${topo64_csr:?bench.sh: BenchmarkTopologyBuild produced no 64K csr-bytes metric}"
+: "${topo64_arena:?bench.sh: BenchmarkTopologyBuild produced no 64K arena-bytes metric}"
+: "${topo512_ns:?bench.sh: BenchmarkTopologyBuild produced no 512K ns/op}"
+: "${topo512_csr:?bench.sh: BenchmarkTopologyBuild produced no 512K csr-bytes metric}"
+: "${topo512_arena:?bench.sh: BenchmarkTopologyBuild produced no 512K arena-bytes metric}"
+
 append_point() { # $1 = JSON object line
 	if [ ! -f BENCH_engine.json ]; then
 		printf '[\n%s\n]\n' "$1" >BENCH_engine.json
@@ -141,6 +167,8 @@ append_point "  {\"date\": \"$date\", \"benchmark\": \"rfclint\", \"packages\": 
 append_point "  {\"date\": \"$date\", \"benchmark\": \"rfcd-path\", \"req_per_sec\": $rps}"
 append_point "  {\"date\": \"$date\", \"benchmark\": \"succinct-index\", \"leaves\": 4096, \"build_ns\": $idx_build_ns, \"bytes_per_pair\": $idx_bytes_pair, \"lookup_ns\": $idx_lookup_ns}"
 append_point "  {\"date\": \"$date\", \"benchmark\": \"cover-build\", \"leaves\": 4096, \"build_ns\": $cov_build_ns, \"cover_bytes\": $cov_bytes, \"plain_bytes\": $cov_plain_bytes}"
+append_point "  {\"date\": \"$date\", \"benchmark\": \"topology-build\", \"leaves\": 65536, \"wire_ns\": $topo64_ns, \"csr_bytes\": $topo64_csr, \"arena_bytes\": $topo64_arena}"
+append_point "  {\"date\": \"$date\", \"benchmark\": \"topology-build\", \"leaves\": 524288, \"wire_ns\": $topo512_ns, \"csr_bytes\": $topo512_csr, \"arena_bytes\": $topo512_arena}"
 
 echo "fig8 x$reps reps @ $cycles cycles: serial ${serial}s, parallel(${cores}) ${parallel}s, speedup ${speedup}x"
 echo "simcore engine: $cps simulated cycles/sec"
@@ -149,3 +177,5 @@ echo "rfclint: $lint_pkgs packages clean in ${lint_s}s"
 echo "rfcd: $rps cached /v1/path req/sec"
 echo "succinct index (4096 leaves): build ${idx_build_ns}ns, ${idx_bytes_pair} bytes/pair, lookup ${idx_lookup_ns}ns"
 echo "cover sets (4096 leaves): rebuild ${cov_build_ns}ns, $cov_bytes compressed vs $cov_plain_bytes plain bytes"
+echo "topology build (64K leaves): wire ${topo64_ns}ns, $topo64_csr CSR vs $topo64_arena arena bytes"
+echo "topology build (512K leaves): wire ${topo512_ns}ns, $topo512_csr CSR vs $topo512_arena arena bytes"
