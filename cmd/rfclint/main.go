@@ -3,18 +3,32 @@
 // rests on. Deterministic packages must draw randomness only from
 // internal/rng streams derived from seeds and job coordinates — never from
 // the wall clock, math/rand, Go's randomized map iteration order, or
-// order-dependent stream splitting inside parallel workers.
+// order-dependent stream splitting inside parallel workers. On top of the
+// per-function rules, three interprocedural passes walk a whole-program
+// call graph: handler-purity (HTTP handlers and exhibit Run functions
+// reach only deterministic sources, with a witness path in each
+// diagnostic), lock-discipline (//rfclint:guardedby fields are accessed
+// with their mutex held), and overlay-invalidate (//rfclint:mutatesvia
+// fields are only written via the designated invalidation functions).
 //
 // Usage:
 //
-//	rfclint [-rules] [packages]
+//	rfclint [-rules] [-json] [-baseline file] [-write-baseline file] [-workers n] [packages]
 //
 // Packages are directories relative to the current module; a trailing
 // "/..." walks recursively (default "./..."). Findings print one per line
 // as file:line:col: rule: message, and any finding makes the exit status
-// non-zero, so CI can gate on it. A finding is silenced by a
-// `//rfclint:allow <rule>` comment on the offending line or the line above
-// it; see the "Determinism invariants" section of DESIGN.md.
+// non-zero, so CI can gate on it. -json instead emits a versioned,
+// byte-stable JSON report with module-root-relative paths. -baseline
+// filters findings through an accept list and additionally fails (exit 3)
+// on stale entries, so the accepted set only ever shrinks;
+// -write-baseline regenerates that list from the current findings. A
+// finding is silenced at source with a `//rfclint:allow <rule>` comment on
+// the offending line or the line above it; see the "Determinism
+// invariants" section of DESIGN.md.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or analysis error, 3 stale
+// baseline entries.
 package main
 
 import (
@@ -22,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"rfclos/internal/lint"
 )
@@ -29,6 +44,10 @@ import (
 func main() {
 	rules := flag.Bool("rules", false, "list the lint rules and exit")
 	quiet := flag.Bool("quiet", false, "suppress the all-clear summary line")
+	jsonOut := flag.Bool("json", false, "emit a versioned JSON report on stdout")
+	baselinePath := flag.String("baseline", "", "filter findings through the accept list in `file`; stale entries are an error")
+	writeBaseline := flag.String("write-baseline", "", "write the current findings as an accept list to `file` and exit 0")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "number of parallel analysis workers")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: rfclint [flags] [packages]\n\npackages default to ./... (the whole module)\n\nflags:\n")
@@ -38,6 +57,9 @@ func main() {
 
 	if *rules {
 		for _, r := range lint.Rules() {
+			fmt.Printf("%-20s %s\n", r.Name, r.Doc)
+		}
+		for _, r := range lint.GraphRules() {
 			fmt.Printf("%-20s %s\n", r.Name, r.Doc)
 		}
 		return
@@ -65,21 +87,61 @@ func main() {
 		fatal(err)
 	}
 
-	findings, err := lint.Run(lint.DefaultConfig(ld.Module), ld, dirs)
+	findings, err := lint.RunParallel(lint.DefaultConfig(ld.Module), ld, dirs, *workers)
 	if err != nil {
 		fatal(err)
 	}
-	for _, f := range findings {
-		// Report paths relative to the working directory, like go vet.
-		if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil {
-			f.Pos.Filename = rel
+	report := lint.NewReport(ld.Module, ld.Root, len(dirs), findings)
+
+	if *writeBaseline != "" {
+		if err := lint.WriteBaseline(*writeBaseline, report); err != nil {
+			fatal(err)
 		}
-		fmt.Println(f)
+		if !*quiet {
+			fmt.Printf("rfclint: wrote %d accepted findings to %s\n", len(report.Findings), *writeBaseline)
+		}
+		return
 	}
-	if len(findings) > 0 {
+
+	var stale []lint.BaselineEntry
+	if *baselinePath != "" {
+		b, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		stale = b.Apply(report)
+	}
+
+	switch {
+	case *jsonOut:
+		if err := report.Encode(os.Stdout); err != nil {
+			fatal(err)
+		}
+	case *baselinePath != "":
+		// Baseline-filtered: print the kept findings (root-relative, as in
+		// the JSON report).
+		for _, f := range report.Findings {
+			fmt.Printf("%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Rule, f.Msg)
+		}
+	default:
+		for _, f := range findings {
+			// Report paths relative to the working directory, like go vet.
+			if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil {
+				f.Pos.Filename = rel
+			}
+			fmt.Println(f)
+		}
+	}
+	for _, e := range stale {
+		fmt.Fprintf(os.Stderr, "rfclint: stale baseline entry: %s: %s: %s\n", e.File, e.Rule, e.Msg)
+	}
+	if len(stale) > 0 {
+		os.Exit(3)
+	}
+	if len(report.Findings) > 0 {
 		os.Exit(1)
 	}
-	if !*quiet {
+	if !*quiet && !*jsonOut {
 		fmt.Printf("rfclint: %d packages clean\n", len(dirs))
 	}
 }

@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Annotation parsing for the interprocedural rules. Three directive forms
+// extend the //rfclint:allow grammar of suppress.go:
+//
+//	//rfclint:guardedby <mu>     on a struct field: every read/write of the
+//	                             field must hold the sibling sync.Mutex (or
+//	                             sync.RWMutex) named <mu> on the same
+//	                             receiver. The special name "atomic" means
+//	                             the field is only touched through
+//	                             sync/atomic method calls (Load/Store/Add/
+//	                             Swap/CompareAndSwap/Or/And).
+//	//rfclint:locked <mu>        on a function or method: callers must hold
+//	                             <mu> (on the callee's receiver) at every
+//	                             call site; the body itself is checked as if
+//	                             the lock were held.
+//	//rfclint:mutatesvia <f>[,g] on a struct field: any function that writes
+//	                             the field must be one of the named
+//	                             functions (declared in the same package) or
+//	                             reach one of them through the call graph —
+//	                             the overlay-invalidate contract.
+//
+// A directive binds to the field or declaration on its own line or the line
+// directly below it (doc-comment position), mirroring the allow grammar.
+
+const (
+	guardedByPrefix  = "rfclint:guardedby"
+	lockedPrefix     = "rfclint:locked"
+	mutatesViaPrefix = "rfclint:mutatesvia"
+)
+
+// guardSpec is a parsed //rfclint:guardedby directive on one struct field.
+type guardSpec struct {
+	field  *types.Var // the annotated field
+	owner  *types.Var // the sibling mutex field; nil when atomic
+	atomic bool
+	strct  *ast.StructType // the declaring struct literal
+}
+
+// mutateSpec is a parsed //rfclint:mutatesvia directive on one struct field.
+type mutateSpec struct {
+	field *types.Var
+	via   []string // function/method names in the field's package
+}
+
+// annots holds every parsed directive of one package.
+type annots struct {
+	guarded map[*types.Var]*guardSpec
+	mutates map[*types.Var]*mutateSpec
+	locked  map[types.Object]string // func/method -> required mutex field name
+	bad     []Finding               // malformed or unresolvable directives
+}
+
+// directiveOnLines scans the package's comments for a directive with the
+// given prefix attached to lineFile:line or line-1, returning its argument
+// text and true when found.
+type directiveIndex map[string]string // "prefix\x00file:line" -> args
+
+func indexDirectives(pkg *Package) directiveIndex {
+	idx := directiveIndex{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+				for _, prefix := range []string{guardedByPrefix, lockedPrefix, mutatesViaPrefix} {
+					rest, ok := strings.CutPrefix(text, prefix)
+					if !ok {
+						continue
+					}
+					if i := strings.Index(rest, "--"); i >= 0 {
+						rest = rest[:i]
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					idx[prefix+"\x00"+posKey(pos.Filename, pos.Line)] = strings.TrimSpace(rest)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// at returns the argument of a prefix-directive bound to the given position
+// (its own line or the line above — doc-comment position).
+func (idx directiveIndex) at(pkg *Package, prefix string, posFile string, line int) (string, bool) {
+	for _, l := range []int{line, line - 1} {
+		if args, ok := idx[prefix+"\x00"+posKey(posFile, l)]; ok {
+			return args, true
+		}
+	}
+	return "", false
+}
+
+// parseAnnots resolves every directive in the package against its
+// type-checked declarations.
+func parseAnnots(pkg *Package) *annots {
+	idx := indexDirectives(pkg)
+	a := &annots{
+		guarded: map[*types.Var]*guardSpec{},
+		mutates: map[*types.Var]*mutateSpec{},
+		locked:  map[types.Object]string{},
+	}
+	if len(idx) == 0 {
+		return a
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				a.parseFields(pkg, idx, n)
+			case *ast.FuncDecl:
+				pos := pkg.Fset.Position(n.Pos())
+				if args, ok := idx.at(pkg, lockedPrefix, pos.Filename, pos.Line); ok {
+					mu := strings.TrimSpace(args)
+					if mu == "" || strings.ContainsAny(mu, " \t,") {
+						a.bad = append(a.bad, pkg.finding(n.Pos(), "lock-discipline",
+							"malformed //rfclint:locked directive: want a single mutex field name"))
+					} else if obj := pkg.Info.Defs[n.Name]; obj != nil {
+						a.locked[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return a
+}
+
+// parseFields binds guardedby/mutatesvia directives to the fields of one
+// struct type and validates their arguments.
+func (a *annots) parseFields(pkg *Package, idx directiveIndex, st *ast.StructType) {
+	for _, fld := range st.Fields.List {
+		for _, name := range fld.Names {
+			pos := pkg.Fset.Position(name.Pos())
+			obj, _ := pkg.Info.Defs[name].(*types.Var)
+			if obj == nil {
+				continue
+			}
+			if args, ok := idx.at(pkg, guardedByPrefix, pos.Filename, pos.Line); ok {
+				spec := &guardSpec{field: obj, strct: st}
+				if args == "atomic" {
+					spec.atomic = true
+					a.guarded[obj] = spec
+				} else if mu := findSiblingMutex(pkg, st, args); mu != nil {
+					spec.owner = mu
+					a.guarded[obj] = spec
+				} else {
+					a.bad = append(a.bad, pkg.finding(name.Pos(), "lock-discipline",
+						"//rfclint:guardedby "+args+": no sibling sync.Mutex/RWMutex field named "+args))
+				}
+			}
+			if args, ok := idx.at(pkg, mutatesViaPrefix, pos.Filename, pos.Line); ok {
+				var via []string
+				for _, v := range strings.FieldsFunc(args, func(r rune) bool {
+					return r == ',' || r == ' ' || r == '\t'
+				}) {
+					via = append(via, v)
+				}
+				if len(via) == 0 {
+					a.bad = append(a.bad, pkg.finding(name.Pos(), "overlay-invalidate",
+						"//rfclint:mutatesvia needs at least one function name"))
+				} else {
+					a.mutates[obj] = &mutateSpec{field: obj, via: via}
+				}
+			}
+		}
+	}
+}
+
+// findSiblingMutex locates a field named mu of type sync.Mutex or
+// sync.RWMutex in the same struct literal.
+func findSiblingMutex(pkg *Package, st *ast.StructType, mu string) *types.Var {
+	for _, fld := range st.Fields.List {
+		for _, name := range fld.Names {
+			if name.Name != mu {
+				continue
+			}
+			obj, _ := pkg.Info.Defs[name].(*types.Var)
+			if obj != nil && isMutexType(obj.Type()) {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isMutexType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}

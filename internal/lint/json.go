@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Machine-readable output and the accept-then-ratchet baseline.
+//
+// The JSON report is versioned (ReportVersion) and byte-stable: findings
+// are already sorted by the driver, paths are module-root-relative with
+// forward slashes, and encoding uses a fixed two-space indent — so CI can
+// golden-pin the output and diff runs across machines.
+//
+// A baseline is an explicit list of accepted findings keyed by
+// (file, rule, msg). Applying it removes exactly the accepted findings
+// from the report and counts them; a baseline entry that no longer matches
+// any finding is *stale* and is itself an error (exit 3 in cmd/rfclint) —
+// the baseline only ever shrinks. The repository policy is an empty
+// baseline: the file exists so that a future migration can stage a large
+// rule rollout without a flag-day, not to park known violations.
+
+// ReportVersion identifies the JSON finding format.
+const ReportVersion = "rfclos.lint/1"
+
+// BaselineVersion identifies the baseline file format.
+const BaselineVersion = "rfclos.lint-baseline/1"
+
+// JSONFinding is one finding in the machine-readable report. File is
+// module-root-relative with forward slashes.
+type JSONFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// Report is the versioned machine-readable output of one lint run.
+type Report struct {
+	Version   string        `json:"version"`
+	Module    string        `json:"module"`
+	Packages  int           `json:"packages"`
+	Findings  []JSONFinding `json:"findings"`
+	Baselined int           `json:"baselined"`
+}
+
+// NewReport converts findings (as returned by Run, i.e. already sorted)
+// into a Report with root-relative slash paths.
+func NewReport(module, root string, packages int, findings []Finding) *Report {
+	r := &Report{
+		Version:  ReportVersion,
+		Module:   module,
+		Packages: packages,
+		Findings: []JSONFinding{}, // encode as [] rather than null
+	}
+	for _, f := range findings {
+		r.Findings = append(r.Findings, JSONFinding{
+			File: rootRel(root, f.Pos.Filename),
+			Line: f.Pos.Line,
+			Col:  f.Pos.Column,
+			Rule: f.Rule,
+			Msg:  f.Msg,
+		})
+	}
+	return r
+}
+
+// rootRel renders an absolute filename module-root-relative with forward
+// slashes; paths outside the root are left absolute (but slashed) so the
+// report never lies.
+func rootRel(root, filename string) string {
+	if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}
+
+// Encode writes the report as indented JSON with a trailing newline.
+func (r *Report) Encode(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// BaselineEntry accepts one finding by exact (file, rule, msg) match.
+type BaselineEntry struct {
+	File string `json:"file"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// Baseline is a versioned list of accepted findings.
+type Baseline struct {
+	Version string          `json:"version"`
+	Accept  []BaselineEntry `json:"accept"`
+}
+
+// LoadBaseline reads and validates a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	if b.Version != BaselineVersion {
+		return nil, fmt.Errorf("lint: baseline %s: version %q, want %q", path, b.Version, BaselineVersion)
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes a baseline accepting every finding in the report.
+func WriteBaseline(path string, r *Report) error {
+	b := &Baseline{Version: BaselineVersion, Accept: []BaselineEntry{}}
+	for _, f := range r.Findings {
+		b.Accept = append(b.Accept, BaselineEntry{File: f.File, Rule: f.Rule, Msg: f.Msg})
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Apply filters the report's findings through the baseline: accepted
+// findings are removed and counted in Baselined. It returns the baseline
+// entries that matched nothing — stale entries the caller must treat as an
+// error so the baseline ratchets down, never up.
+func (b *Baseline) Apply(r *Report) (stale []BaselineEntry) {
+	matched := make([]bool, len(b.Accept))
+	var kept []JSONFinding
+	for _, f := range r.Findings {
+		accepted := false
+		for i, e := range b.Accept {
+			if e.File == f.File && e.Rule == f.Rule && e.Msg == f.Msg {
+				matched[i] = true
+				accepted = true
+				// keep scanning: duplicate entries should all count as used
+			}
+		}
+		if accepted {
+			r.Baselined++
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	if kept == nil {
+		kept = []JSONFinding{}
+	}
+	r.Findings = kept
+	for i, e := range b.Accept {
+		if !matched[i] {
+			stale = append(stale, e)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool {
+		a, b := stale[i], stale[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+	return stale
+}

@@ -22,12 +22,18 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Config selects which packages the determinism rules apply to. Paths are
 // full import paths; DefaultConfig derives the repository's set from the
 // module path.
 type Config struct {
+	// Module is the module path the analyzed packages belong to; the
+	// interprocedural rules use it to tell module functions from the
+	// standard library.
+	Module string
+
 	// Deterministic lists the import paths whose packages must obey the
 	// determinism invariants (exact match, one entry per package).
 	Deterministic []string
@@ -50,7 +56,15 @@ type Config struct {
 	// EnginePkg is the import path of the parallel worker-pool package whose
 	// Run/RunShard closures must not touch parent rng streams.
 	EnginePkg string
+
+	// ExhibitPkg is the import path of the exhibit registry package; the
+	// handler-purity rule treats every Run field of an Exhibit composite
+	// literal as a purity entry point.
+	ExhibitPkg string
 }
+
+// modulePath returns the configured module path.
+func (c *Config) modulePath() string { return c.Module }
 
 // DefaultConfig returns the repository configuration for a module rooted at
 // the given module path: every package that feeds exhibit bytes is
@@ -83,6 +97,7 @@ func DefaultConfig(module string) *Config {
 		}
 	}
 	return &Config{
+		Module:        module,
 		Deterministic: det,
 		Server: []string{
 			module + "/internal/service",
@@ -92,6 +107,7 @@ func DefaultConfig(module string) *Config {
 		AllowFiles: []string{"internal/engine/progress.go"},
 		RngPkg:     module + "/internal/rng",
 		EnginePkg:  module + "/internal/engine",
+		ExhibitPkg: module + "/internal/exhibit",
 	}
 }
 
@@ -171,26 +187,108 @@ func Rules() []Rule {
 	}
 }
 
+// GraphRule is one named interprocedural check over the linked program.
+type GraphRule struct {
+	Name string
+	Doc  string
+	// Check returns the rule's findings for the whole program (suppression
+	// is applied by the driver, not the rule).
+	Check func(cfg *Config, prog *Program) []Finding
+}
+
+// GraphRules returns every interprocedural rule in a stable order.
+func GraphRules() []GraphRule {
+	return []GraphRule{
+		{
+			Name:  "handler-purity",
+			Doc:   "HTTP handlers and exhibit Run functions must reach only deterministic sources through the call graph (diagnostics carry a witness path)",
+			Check: checkHandlerPurity,
+		},
+		{
+			Name:  "lock-discipline",
+			Doc:   "fields annotated //rfclint:guardedby are only accessed with the named mutex held (or through sync/atomic); //rfclint:locked functions require the lock at every call site",
+			Check: checkLockDiscipline,
+		},
+		{
+			Name:  "overlay-invalidate",
+			Doc:   "fields annotated //rfclint:mutatesvia may only be written by (or via) the named invalidation functions, pinning the CSR overlay/LeafRange/StoreBytes invariant",
+			Check: checkOverlayInvalidate,
+		},
+	}
+}
+
 // Run loads every package directory in dirs (see Loader) and applies all
-// rules, returning the unsuppressed findings sorted by position. A load or
-// type-check failure is an error: the linter refuses to bless a tree it
-// could not fully analyze.
+// per-package and interprocedural rules, returning the unsuppressed
+// findings sorted by position. A load or type-check failure is an error:
+// the linter refuses to bless a tree it could not fully analyze.
 func Run(cfg *Config, ld *Loader, dirs []string) ([]Finding, error) {
-	var all []Finding
-	for _, dir := range dirs {
-		pkg, err := ld.LoadDir(dir)
+	return RunParallel(cfg, ld, dirs, 1)
+}
+
+// RunParallel is Run with up to workers packages loaded and summarized
+// concurrently. Output is deterministic regardless of worker count:
+// per-package results are merged in package order and findings are sorted
+// at the end.
+func RunParallel(cfg *Config, ld *Loader, dirs []string, workers int) ([]Finding, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	// Phase 0: load (parse + type-check) the requested packages.
+	pkgs := make([]*Package, len(dirs))
+	errs := make([]error, len(dirs))
+	runWorkers(len(dirs), workers, func(i int) {
+		pkgs[i], errs[i] = ld.LoadDir(dirs[i])
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		allow := allowIndex(pkg)
-		for _, rule := range Rules() {
-			for _, f := range rule.Check(cfg, pkg) {
-				if !allow.suppressed(f) {
-					all = append(all, f)
-				}
+	}
+	requested := map[string]bool{}
+	for _, pkg := range pkgs {
+		requested[pkg.Path] = true
+	}
+	// The program closure adds the module-internal dependencies of the
+	// requested packages, so interprocedural rules see the whole call graph
+	// even for a partial lint.
+	closure := programClosure(ld, pkgs)
+
+	// Phase 1: per-package summaries (and per-package rules for the
+	// requested set), in parallel.
+	results := make([]*pkgResult, len(closure))
+	perPkg := make([][]Finding, len(closure))
+	runWorkers(len(closure), workers, func(i int) {
+		pkg := closure[i]
+		results[i] = collectPackage(cfg, pkg)
+		if requested[pkg.Path] {
+			for _, rule := range Rules() {
+				perPkg[i] = append(perPkg[i], rule.Check(cfg, pkg)...)
 			}
 		}
+	})
+
+	// Phase 2: link and run the interprocedural rules sequentially.
+	prog := link(cfg, results)
+	var all []Finding
+	allow := allowSet{}
+	for _, r := range results {
+		for k, v := range r.allow {
+			allow[k] = v
+		}
 	}
+	for _, fs := range perPkg {
+		all = append(all, fs...)
+	}
+	for _, rule := range GraphRules() {
+		all = append(all, rule.Check(cfg, prog)...)
+	}
+	kept := all[:0]
+	for _, f := range all {
+		if !allow.suppressed(f) {
+			kept = append(kept, f)
+		}
+	}
+	all = kept
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -205,4 +303,66 @@ func Run(cfg *Config, ld *Loader, dirs []string) ([]Finding, error) {
 		return a.Rule < b.Rule
 	})
 	return all, nil
+}
+
+// programClosure returns the requested packages plus their module-internal
+// transitive dependencies (already loaded as a side effect of
+// type-checking), sorted by import path.
+func programClosure(ld *Loader, pkgs []*Package) []*Package {
+	seen := map[string]*Package{}
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if p == nil || seen[p.Path] != nil {
+			return
+		}
+		seen[p.Path] = p
+		for _, imp := range p.Types.Imports() {
+			path := imp.Path()
+			if path == ld.Module || strings.HasPrefix(path, ld.Module+"/") {
+				visit(ld.Loaded(path))
+			}
+		}
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	paths := make([]string, 0, len(seen))
+	for path := range seen {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, len(paths))
+	for i, path := range paths {
+		out[i] = seen[path]
+	}
+	return out
+}
+
+// runWorkers runs fn(0..n-1) on up to workers goroutines.
+func runWorkers(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 }

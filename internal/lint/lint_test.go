@@ -24,10 +24,12 @@ func fixtureConfig(t *testing.T, module string) *Config {
 	t.Helper()
 	det := []string{"nondet", "maprange", "splitpar", "seedcoord", "serverpkg", "leafsetpkg", "csrpkg"}
 	cfg := &Config{
+		Module:     module,
 		Server:     []string{module + "/internal/lint/testdata/src/serverpkg"},
 		AllowFiles: []string{"testdata/src/nondet/allowed_file.go"},
 		RngPkg:     module + "/internal/rng",
 		EnginePkg:  module + "/internal/engine",
+		ExhibitPkg: module + "/internal/lint/testdata/src/puritypkg",
 	}
 	for _, d := range det {
 		cfg.Deterministic = append(cfg.Deterministic, module+"/internal/lint/testdata/src/"+d)
@@ -111,7 +113,7 @@ func sortedSet(s map[string]bool) []string {
 func TestFixtures(t *testing.T) {
 	ld := newTestLoader(t)
 	cfg := fixtureConfig(t, ld.Module)
-	for _, pkg := range []string{"nondet", "maprange", "splitpar", "seedcoord", "freepkg", "serverpkg", "leafsetpkg", "csrpkg"} {
+	for _, pkg := range []string{"nondet", "maprange", "splitpar", "seedcoord", "freepkg", "serverpkg", "leafsetpkg", "csrpkg", "puritypkg", "guardedpkg", "overlaypkg"} {
 		t.Run(pkg, func(t *testing.T) {
 			dir := filepath.Join("testdata", "src", pkg)
 			findings, err := Run(cfg, ld, []string{dir})
@@ -177,6 +179,9 @@ func TestDefaultConfigPackagesExist(t *testing.T) {
 			t.Errorf("allowlisted file %s missing: %v", suf, err)
 		}
 	}
+	if ok, err := hasGoFiles(ld.dirOf(cfg.ExhibitPkg)); err != nil || !ok {
+		t.Errorf("exhibit package %s has no Go files (err=%v)", cfg.ExhibitPkg, err)
+	}
 }
 
 // TestServerOverridesDeterministic pins the precedence rule directly.
@@ -213,6 +218,53 @@ func TestExpandSkipsTestdata(t *testing.T) {
 		if strings.Contains(filepath.ToSlash(d), "/testdata/") {
 			t.Errorf("Expand descended into testdata: %s", d)
 		}
+	}
+}
+
+// TestWitnessPath pins the diagnostic contract of handler-purity: every
+// finding names its entry point and, for multi-hop reaches, carries the
+// call chain so the report is checkable by eye.
+func TestWitnessPath(t *testing.T) {
+	ld := newTestLoader(t)
+	cfg := fixtureConfig(t, ld.Module)
+	findings, err := Run(cfg, ld, []string{filepath.Join("testdata", "src", "puritypkg")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deep *Finding
+	for i, f := range findings {
+		if strings.HasSuffix(f.Pos.Filename, "handlers.go") && strings.Contains(f.Msg, "time.Since") {
+			deep = &findings[i]
+		}
+	}
+	if deep == nil {
+		t.Fatal("no finding for the time.Since fact in handlerDeep's closure")
+	}
+	for _, want := range []string{
+		"reached from HTTP handler puritypkg.handlerDeep",
+		"via puritypkg.handlerDeep -> puritypkg.hop1 -> puritypkg.hop2",
+		"pure function of (kind, params, seed)",
+	} {
+		if !strings.Contains(deep.Msg, want) {
+			t.Errorf("witness diagnostic %q missing %q", deep.Msg, want)
+		}
+	}
+}
+
+// TestSelfGate lints the analyzer and its command with the repository
+// configuration: rfclint must hold itself to the rules it enforces.
+func TestSelfGate(t *testing.T) {
+	ld := newTestLoader(t)
+	dirs := []string{
+		filepath.Join(ld.Root, "internal", "lint"),
+		filepath.Join(ld.Root, "cmd", "rfclint"),
+	}
+	findings, err := Run(DefaultConfig(ld.Module), ld, dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
 	}
 }
 

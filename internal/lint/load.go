@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package as the rules see it.
@@ -33,20 +34,35 @@ type Package struct {
 // imports are resolved from source relative to the module root; standard
 // library imports go through go/importer's source mode. Loaded packages are
 // cached, so a tree-wide run type-checks each package once.
+//
+// The loader is safe for concurrent LoadDir calls: the cache is a
+// singleflight table (the first goroutine to request a path type-checks it,
+// later ones wait on its ready channel), and the source-mode standard
+// library importer — which is not concurrency-safe — is serialized behind
+// its own mutex. Waiting on another goroutine's in-flight load cannot
+// deadlock because Go's import graph is acyclic; same-goroutine import
+// cycles (broken source) are caught by the per-load import stack instead.
 type Loader struct {
 	// Root is the absolute module root (the directory holding go.mod).
 	Root string
 	// Module is the module path declared in go.mod.
 	Module string
 
-	fset  *token.FileSet
+	fset *token.FileSet
+
+	stdMu sync.Mutex // serializes std (srcimporter is not concurrency-safe)
 	std   types.Importer
-	cache map[string]*loadResult
+
+	mu    sync.Mutex // guards cache (the map, not the entries)
+	cache map[string]*loadEntry
 }
 
-type loadResult struct {
-	pkg *Package
-	err error
+// loadEntry is one singleflight cache slot: ready is closed once pkg/err
+// are final.
+type loadEntry struct {
+	ready chan struct{}
+	pkg   *Package
+	err   error
 }
 
 // NewLoader returns a loader for the module rooted at root. The module path
@@ -66,7 +82,7 @@ func NewLoader(root string) (*Loader, error) {
 		Module: module,
 		fset:   fset,
 		std:    importer.ForCompiler(fset, "source", nil),
-		cache:  map[string]*loadResult{},
+		cache:  map[string]*loadEntry{},
 	}, nil
 }
 
@@ -139,26 +155,47 @@ func (ld *Loader) LoadDir(dir string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ld.load(path)
+	return ld.load(path, nil)
+}
+
+// Loaded returns the cached package for a module-internal import path, or
+// nil if it has not been (successfully) loaded. It never triggers a load.
+func (ld *Loader) Loaded(path string) *Package {
+	ld.mu.Lock()
+	e, ok := ld.cache[path]
+	ld.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	<-e.ready
+	return e.pkg
 }
 
 // load type-checks the module-internal package with the given import path,
-// caching results (and errors) by path.
-func (ld *Loader) load(path string) (*Package, error) {
-	if r, ok := ld.cache[path]; ok {
-		if r == nil {
+// caching results (and errors) by path. stack is the chain of module
+// packages currently being checked on this goroutine, for cycle detection.
+func (ld *Loader) load(path string, stack []string) (*Package, error) {
+	for _, p := range stack {
+		if p == path {
 			return nil, fmt.Errorf("lint: import cycle through %s", path)
 		}
-		return r.pkg, r.err
 	}
-	ld.cache[path] = nil // cycle marker
-	pkg, err := ld.check(path)
-	ld.cache[path] = &loadResult{pkg: pkg, err: err}
-	return pkg, err
+	ld.mu.Lock()
+	if e, ok := ld.cache[path]; ok {
+		ld.mu.Unlock()
+		<-e.ready
+		return e.pkg, e.err
+	}
+	e := &loadEntry{ready: make(chan struct{})}
+	ld.cache[path] = e
+	ld.mu.Unlock()
+	e.pkg, e.err = ld.check(path, append(stack, path))
+	close(e.ready)
+	return e.pkg, e.err
 }
 
 // check does the actual parse + type-check of one package directory.
-func (ld *Loader) check(path string) (*Package, error) {
+func (ld *Loader) check(path string, stack []string) (*Package, error) {
 	dir := ld.dirOf(path)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -191,7 +228,7 @@ func (ld *Loader) check(path string) (*Package, error) {
 		Defs:       map[*ast.Ident]types.Object{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
-	conf := types.Config{Importer: (*loaderImporter)(ld)}
+	conf := types.Config{Importer: &loaderImporter{ld: ld, stack: stack}}
 	tpkg, err := conf.Check(path, ld.fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
@@ -207,22 +244,28 @@ func (ld *Loader) check(path string) (*Package, error) {
 }
 
 // loaderImporter adapts the loader into a types.Importer: module-internal
-// paths load from source through the loader itself, everything else (the
-// standard library) through go/importer's source mode.
-type loaderImporter Loader
+// paths load from source through the loader itself (threading the cycle
+// detection stack), everything else (the standard library) through
+// go/importer's source mode behind the loader's std mutex.
+type loaderImporter struct {
+	ld    *Loader
+	stack []string
+}
 
 func (im *loaderImporter) Import(path string) (*types.Package, error) {
-	ld := (*Loader)(im)
+	ld := im.ld
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
 	if path == ld.Module || strings.HasPrefix(path, ld.Module+"/") {
-		pkg, err := ld.load(path)
+		pkg, err := ld.load(path, im.stack)
 		if err != nil {
 			return nil, err
 		}
 		return pkg.Types, nil
 	}
+	ld.stdMu.Lock()
+	defer ld.stdMu.Unlock()
 	return ld.std.Import(path)
 }
 

@@ -1,0 +1,452 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// lock-discipline: struct fields annotated //rfclint:guardedby <mu> may
+// only be read or written while the named sibling mutex is held on the same
+// object, and fields annotated //rfclint:guardedby atomic may only be
+// touched through sync/atomic method calls. Functions annotated
+// //rfclint:locked <mu> push the obligation to their callers: every call
+// site must hold the receiver's mutex, and the body itself is checked as if
+// the lock were held.
+//
+// The lock-state model is lexical, matching how this repository writes
+// critical sections: within one function body, an access is "held" when the
+// latest preceding non-deferred Lock/RLock on the same root object and
+// mutex field has not been followed by an Unlock/RUnlock. `defer
+// mu.Unlock()` therefore keeps the rest of the body held, and a lock taken
+// in one branch of an if is (unsoundly but usefully) assumed at later
+// statements — none of the annotated hot paths lock conditionally. Writes
+// require the exclusive Lock; RLock only blesses reads. Composite-literal
+// construction (`&Cache{items: ...}`) is exempt: the object is not yet
+// shared.
+
+var atomicMethods = map[string]bool{
+	"Load": true, "Store": true, "Add": true, "Swap": true,
+	"CompareAndSwap": true, "And": true, "Or": true,
+}
+
+var lockMethods = map[string]bool{
+	"Lock": true, "RLock": true, "Unlock": true, "RUnlock": true,
+}
+
+func checkLockDiscipline(cfg *Config, prog *Program) []Finding {
+	// Union annotations across the program: locked functions can be called
+	// from sibling packages.
+	guarded := map[*types.Var]*guardSpec{}
+	locked := map[types.Object]string{}
+	var out []Finding
+	for _, r := range prog.results {
+		for v, s := range r.ann.guarded {
+			guarded[v] = s
+		}
+		for o, mu := range r.ann.locked {
+			locked[o] = mu
+		}
+		out = append(out, r.ann.bad...)
+	}
+	if len(guarded) == 0 && len(locked) == 0 {
+		return out
+	}
+	for _, r := range prog.results {
+		c := &lockChecker{pkg: r.pkg, guarded: guarded, locked: locked,
+			events: map[ast.Node][]lockEvent{}}
+		for _, f := range r.pkg.Files {
+			walkStack(f, c.visit)
+		}
+		out = append(out, c.out...)
+	}
+	return out
+}
+
+// lockEvent is one mutex operation observed in a function body. block is
+// the innermost block-like node containing the call: an event is only
+// visible to accesses in the same or a nested block, so the common
+// early-return idiom (`if hit { ...; mu.Unlock(); return }`) does not
+// clobber the lock state of the fall-through path, and a conditionally
+// taken lock never blesses code outside its branch.
+type lockEvent struct {
+	pos      token.Pos
+	name     string // Lock, RLock, Unlock, RUnlock
+	root     types.Object
+	mu       *types.Var
+	block    ast.Node
+	deferred bool
+}
+
+type lockChecker struct {
+	pkg     *Package
+	guarded map[*types.Var]*guardSpec
+	locked  map[types.Object]string
+	events  map[ast.Node][]lockEvent // enclosing FuncDecl/FuncLit -> events
+	out     []Finding
+}
+
+// walkStack runs a pre-order walk over root, handing each node its parent
+// chain (nearest parent last).
+func walkStack(root ast.Node, visit func(n ast.Node, parents []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		visit(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+func (c *lockChecker) visit(n ast.Node, parents []ast.Node) {
+	switch n := n.(type) {
+	case *ast.SelectorExpr:
+		fld, ok := c.pkg.Info.Uses[n.Sel].(*types.Var)
+		if !ok {
+			return
+		}
+		if spec, ok := c.guarded[fld]; ok {
+			c.checkAccess(n, spec, parents)
+		}
+	case *ast.CallExpr:
+		callee := calleeObj(c.pkg.Info, n)
+		if callee == nil {
+			return
+		}
+		mu, ok := c.locked[callee]
+		if !ok {
+			return
+		}
+		c.checkLockedCall(n, callee, mu, parents)
+	}
+}
+
+// enclosingFunc returns the innermost FuncDecl/FuncLit in parents and its
+// declared object (nil for literals).
+func (c *lockChecker) enclosingFunc(parents []ast.Node) (ast.Node, types.Object) {
+	for i := len(parents) - 1; i >= 0; i-- {
+		switch fn := parents[i].(type) {
+		case *ast.FuncLit:
+			return fn, nil
+		case *ast.FuncDecl:
+			return fn, c.pkg.Info.Defs[fn.Name]
+		}
+	}
+	return nil, nil
+}
+
+// checkAccess validates one guarded-field access.
+func (c *lockChecker) checkAccess(sel *ast.SelectorExpr, spec *guardSpec, parents []ast.Node) {
+	if spec.atomic {
+		c.checkAtomicAccess(sel, spec, parents)
+		return
+	}
+	// Construction is exempt: a composite literal keyed by the field means
+	// the object is not shared yet (keys are bare idents, not selectors, so
+	// only the enclosing-literal case needs checking for selector writes
+	// like `cp := &Cache{...}` followed by... — handled by fresh-local logic
+	// in the overlay rule; here literals never produce selector accesses).
+	fnNode, fnObj := c.enclosingFunc(parents)
+	if fnNode == nil {
+		return // package-level initializer
+	}
+	write := isWriteContext(c.pkg, sel, parents)
+	root := baseIdentObj(c.pkg, sel.X)
+	if root == nil {
+		c.report(sel.Pos(), "field "+spec.field.Name()+" (guardedby "+spec.owner.Name()+
+			") accessed through an expression the lock checker cannot root")
+		return
+	}
+	if mu, ok := c.funcLocked(fnObj); ok && mu == spec.owner.Name() {
+		return // body of a //rfclint:locked function: caller holds the lock
+	}
+	if freshLocal(c.pkg, fnNode, root) {
+		return // constructor populating an object not yet shared
+	}
+	held, rlocked := c.heldAt(fnNode, root, spec.owner, sel.Pos(), ancestorBlocks(parents))
+	if held && (!write || !rlocked) {
+		return
+	}
+	verb := "read"
+	if write {
+		verb = "write"
+	}
+	why := "without holding " + spec.owner.Name()
+	if held && rlocked && write {
+		why = "under RLock; writes need the exclusive Lock"
+	}
+	c.report(sel.Pos(), verb+" of field "+spec.field.Name()+" (guardedby "+
+		spec.owner.Name()+") "+why)
+}
+
+// checkAtomicAccess requires the field to be the receiver of a sync/atomic
+// method call (indexing into a slice of atomics first is fine), or a
+// harmless len/cap/range of such a slice.
+func (c *lockChecker) checkAtomicAccess(sel *ast.SelectorExpr, spec *guardSpec, parents []ast.Node) {
+	cur := ast.Node(sel)
+	for i := len(parents) - 1; i >= 0; i-- {
+		switch p := parents[i].(type) {
+		case *ast.IndexExpr, *ast.ParenExpr:
+			cur = p
+			continue
+		case *ast.SelectorExpr:
+			if atomicMethods[p.Sel.Name] && i+1 <= len(parents) {
+				return // receiver of an atomic method selector; the call wraps it
+			}
+		case *ast.CallExpr:
+			if isBuiltin(c.pkg.Info, p, "len") || isBuiltin(c.pkg.Info, p, "cap") ||
+				isBuiltin(c.pkg.Info, p, "make") {
+				return
+			}
+		case *ast.RangeStmt:
+			if p.X == cur {
+				return
+			}
+		case *ast.KeyValueExpr:
+			if _, isLit := parentOf(parents, i).(*ast.CompositeLit); isLit {
+				return // construction
+			}
+		}
+		break
+	}
+	c.report(sel.Pos(), "field "+spec.field.Name()+
+		" (guardedby atomic) must only be accessed through sync/atomic method calls")
+}
+
+func parentOf(parents []ast.Node, i int) ast.Node {
+	if i == 0 {
+		return nil
+	}
+	return parents[i-1]
+}
+
+// checkLockedCall validates a call to a //rfclint:locked function.
+func (c *lockChecker) checkLockedCall(call *ast.CallExpr, callee types.Object, mu string, parents []ast.Node) {
+	fnNode, fnObj := c.enclosingFunc(parents)
+	if fnNode == nil {
+		return
+	}
+	if held, ok := c.funcLocked(fnObj); ok && held == mu {
+		return // transitively locked
+	}
+	// Root object: the receiver expression of the call (c in c.evictLocked()).
+	var root types.Object
+	if selFun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		root = baseIdentObj(c.pkg, selFun.X)
+	}
+	if root != nil {
+		if held, rlocked := c.heldByName(fnNode, root, mu, call.Pos(), ancestorBlocks(parents)); held && !rlocked {
+			return
+		}
+	}
+	c.report(call.Pos(), "call to "+callee.Name()+" requires holding "+mu+
+		" (//rfclint:locked contract)")
+}
+
+func (c *lockChecker) funcLocked(fnObj types.Object) (string, bool) {
+	if fnObj == nil {
+		return "", false
+	}
+	mu, ok := c.locked[fnObj]
+	return mu, ok
+}
+
+// heldAt reports whether the mutex field mu on root is lexically held at
+// pos within fn, and whether only a read lock is held. ancestors is the
+// set of block-like nodes enclosing the access within fn.
+func (c *lockChecker) heldAt(fn ast.Node, root types.Object, mu *types.Var, pos token.Pos, ancestors map[ast.Node]bool) (held, rlocked bool) {
+	return c.lastLockState(fn, pos, ancestors, func(e lockEvent) bool {
+		return e.root == root && e.mu == mu
+	})
+}
+
+// heldByName is heldAt matching the mutex field by name — used at
+// //rfclint:locked call sites where the concrete field object may belong to
+// another package's struct.
+func (c *lockChecker) heldByName(fn ast.Node, root types.Object, mu string, pos token.Pos, ancestors map[ast.Node]bool) (held, rlocked bool) {
+	return c.lastLockState(fn, pos, ancestors, func(e lockEvent) bool {
+		return e.root == root && e.mu != nil && e.mu.Name() == mu
+	})
+}
+
+func (c *lockChecker) lastLockState(fn ast.Node, pos token.Pos, ancestors map[ast.Node]bool, match func(lockEvent) bool) (held, rlocked bool) {
+	last := ""
+	for _, e := range c.eventsOf(fn) {
+		if e.deferred || e.pos >= pos || !ancestors[e.block] || !match(e) {
+			continue
+		}
+		last = e.name
+	}
+	switch last {
+	case "Lock":
+		return true, false
+	case "RLock":
+		return true, true
+	}
+	return false, false
+}
+
+// ancestorBlocks collects the block-like nodes between the access and its
+// enclosing function (the function's own body included).
+func ancestorBlocks(parents []ast.Node) map[ast.Node]bool {
+	blocks := map[ast.Node]bool{}
+	for i := len(parents) - 1; i >= 0; i-- {
+		switch parents[i].(type) {
+		case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+			blocks[parents[i]] = true
+		case *ast.FuncLit, *ast.FuncDecl:
+			return blocks
+		}
+	}
+	return blocks
+}
+
+// eventsOf scans (once) the body of fn for mutex operations, recording
+// each event's innermost enclosing block and skipping nested function
+// literals: lock state does not flow across closure boundaries.
+func (c *lockChecker) eventsOf(fn ast.Node) []lockEvent {
+	if ev, ok := c.events[fn]; ok {
+		return ev
+	}
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	var ev []lockEvent
+	if body != nil {
+		innermostBlock := func(parents []ast.Node) ast.Node {
+			for i := len(parents) - 1; i >= 0; i-- {
+				switch parents[i].(type) {
+				case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+					return parents[i]
+				}
+			}
+			return body
+		}
+		skip := map[ast.Node]bool{}
+		walkStack(body, func(m ast.Node, parents []ast.Node) {
+			for _, p := range parents {
+				if skip[p] {
+					return
+				}
+			}
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				skip[m] = true
+			case *ast.DeferStmt:
+				if e, ok := c.classifyLockCall(m.Call); ok {
+					e.deferred = true
+					e.block = innermostBlock(parents)
+					ev = append(ev, e)
+				}
+				skip[m] = true
+			case *ast.CallExpr:
+				if e, ok := c.classifyLockCall(m); ok {
+					e.block = innermostBlock(parents)
+					ev = append(ev, e)
+				}
+			}
+		})
+		sort.Slice(ev, func(i, j int) bool { return ev[i].pos < ev[j].pos })
+	}
+	c.events[fn] = ev
+	return ev
+}
+
+// classifyLockCall recognizes root.mu.Lock() and friends.
+func (c *lockChecker) classifyLockCall(call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !lockMethods[sel.Sel.Name] {
+		return lockEvent{}, false
+	}
+	muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	mu, ok := c.pkg.Info.Uses[muSel.Sel].(*types.Var)
+	if !ok || !isMutexType(mu.Type()) {
+		return lockEvent{}, false
+	}
+	root := baseIdentObj(c.pkg, muSel.X)
+	if root == nil {
+		return lockEvent{}, false
+	}
+	return lockEvent{pos: call.Pos(), name: sel.Sel.Name, root: root, mu: mu}, true
+}
+
+func (c *lockChecker) report(pos token.Pos, msg string) {
+	c.out = append(c.out, c.pkg.finding(pos, "lock-discipline", msg))
+}
+
+// baseIdentObj resolves the base identifier of a selector chain to its
+// object: c.items -> c, (*c).items -> c.
+func baseIdentObj(pkg *Package, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return pkg.Info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isWriteContext reports whether the selector (possibly through index/star/
+// paren wrappers) is an assignment target, inc/dec target, address-taken,
+// or the mutated argument of delete/copy/append.
+func isWriteContext(pkg *Package, sel ast.Expr, parents []ast.Node) bool {
+	cur := ast.Node(sel)
+	for i := len(parents) - 1; i >= 0; i-- {
+		switch p := parents[i].(type) {
+		case *ast.IndexExpr:
+			if p.X != cur {
+				return false // sel used as the index, not the target
+			}
+			cur = p
+		case *ast.ParenExpr:
+			cur = p
+		case *ast.StarExpr:
+			cur = p
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if lhs == cur {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return p.X == cur
+		case *ast.UnaryExpr:
+			return p.Op == token.AND && p.X == cur
+		case *ast.CallExpr:
+			if len(p.Args) > 0 && p.Args[0] == cur {
+				if isBuiltin(pkg.Info, p, "delete") || isBuiltin(pkg.Info, p, "copy") ||
+					isBuiltin(pkg.Info, p, "append") {
+					return true
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// overlay-invalidate: PR 8 made the CSR adjacency store's derived state
+// (LeafRange, StoreBytes) valid only as long as every mutation of the
+// underlying fields flows through the designated invalidation points
+// (ensureOverlay, Seal). This rule pins that invariant structurally: a
+// struct field annotated
+//
+//	//rfclint:mutatesvia f1[,f2...]
+//
+// may only be written inside one of the named functions (declared in the
+// field's package) or inside a function that reaches one of them through
+// the call graph — i.e. any new mutation path must first invalidate.
+// Reads are unrestricted. Two write shapes are exempt:
+//
+//   - construction: writes through a local variable that the enclosing
+//     function itself created with a composite literal (`cp := &Clos{...};
+//     cp.ovl = ...`) touch an object no caller can observe mid-build;
+//   - composite-literal field values, for the same reason.
+//
+// Passing the field as an argument to a module function counts as a write
+// (the callee may mutate it); passing it to the standard library or as a
+// later argument of append (a read-only source) does not.
+
+func checkOverlayInvalidate(cfg *Config, prog *Program) []Finding {
+	// Resolve each annotated field's via-list to program nodes.
+	type target struct {
+		spec  *mutateSpec
+		nodes map[*funcNode]bool
+	}
+	var out []Finding
+	targets := map[*types.Var]*target{}
+	for _, r := range prog.results {
+		for v, spec := range r.ann.mutates {
+			tg := &target{spec: spec, nodes: map[*funcNode]bool{}}
+			for _, name := range spec.via {
+				found := false
+				for _, n := range prog.nodes {
+					if n.obj == nil || n.pkg.Path != r.pkg.Path {
+						continue
+					}
+					if base := n.name[strings.LastIndex(n.name, ".")+1:]; base == name {
+						tg.nodes[n] = true
+						found = true
+					}
+				}
+				if !found {
+					out = append(out, r.pkg.finding(v.Pos(), "overlay-invalidate",
+						"//rfclint:mutatesvia names unknown function "+name+" in package "+r.pkg.Types.Name()))
+				}
+			}
+			targets[v] = tg
+		}
+	}
+	if len(targets) == 0 {
+		return out
+	}
+	reachCache := map[*funcNode]map[*funcNode]*funcNode{}
+	reaches := func(from *funcNode, nodes map[*funcNode]bool) bool {
+		if nodes[from] {
+			return true
+		}
+		pred, ok := reachCache[from]
+		if !ok {
+			pred = reach(from)
+			reachCache[from] = pred
+		}
+		for n := range nodes {
+			if _, ok := pred[n]; ok {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range prog.results {
+		pkg := r.pkg
+		reportedLines := map[string]bool{}
+		for _, f := range pkg.Files {
+			walkStack(f, func(n ast.Node, parents []ast.Node) {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return
+				}
+				fld, ok := pkg.Info.Uses[sel.Sel].(*types.Var)
+				if !ok {
+					return
+				}
+				tg, ok := targets[fld]
+				if !ok {
+					return
+				}
+				if !isWriteContext(pkg, sel, parents) &&
+					!isModuleArgContext(cfg, pkg, sel, parents) {
+					return
+				}
+				fnAst := enclosingFuncAst(parents)
+				if fnAst == nil {
+					return
+				}
+				node := prog.nodeAt(pkg, fnAst)
+				if node != nil && reaches(node, tg.nodes) {
+					return
+				}
+				if root := baseIdentObj(pkg, sel.X); root != nil && freshLocal(pkg, fnAst, root) {
+					return
+				}
+				// One diagnostic per line: an assignment like
+				// `s.m[k] = append(s.m[k], v)` mentions the field twice.
+				pos := pkg.Fset.Position(sel.Pos())
+				lineKey := posKey(pos.Filename, pos.Line)
+				if reportedLines[lineKey] {
+					return
+				}
+				reportedLines[lineKey] = true
+				where := "?"
+				if node != nil {
+					where = node.name
+				}
+				out = append(out, pkg.finding(sel.Pos(), "overlay-invalidate",
+					"write to field "+fld.Name()+" in "+where+" does not reach "+
+						strings.Join(tg.spec.via, "/")+" (//rfclint:mutatesvia); "+
+						"mutations must invalidate derived state first"))
+			})
+		}
+	}
+	return out
+}
+
+// isModuleArgContext reports whether sel is passed (not as an append
+// source) as an argument to a function declared in this module — which may
+// mutate it through the reference.
+func isModuleArgContext(cfg *Config, pkg *Package, sel ast.Expr, parents []ast.Node) bool {
+	cur := ast.Node(sel)
+	for i := len(parents) - 1; i >= 0; i-- {
+		switch p := parents[i].(type) {
+		case *ast.IndexExpr, *ast.ParenExpr, *ast.StarExpr:
+			cur = p
+		case *ast.CallExpr:
+			if p.Fun == cur {
+				return false
+			}
+			obj := calleeObj(pkg.Info, p)
+			if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+				return false // delete/copy/append handled by isWriteContext
+			}
+			f, ok := obj.(*types.Func)
+			if !ok || !inModule(f, cfg) {
+				return false // stdlib and indirect calls treated as read-only
+			}
+			for _, arg := range p.Args {
+				if arg == cur {
+					return true
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// enclosingFuncAst returns the innermost FuncDecl/FuncLit in parents.
+func enclosingFuncAst(parents []ast.Node) ast.Node {
+	for i := len(parents) - 1; i >= 0; i-- {
+		switch parents[i].(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			return parents[i]
+		}
+	}
+	return nil
+}
+
+// nodeAt maps a FuncDecl/FuncLit back to its program node.
+func (prog *Program) nodeAt(pkg *Package, fn ast.Node) *funcNode {
+	var pos token.Pos
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		pos = fn.Name.Pos()
+	case *ast.FuncLit:
+		pos = fn.Pos()
+	default:
+		return nil
+	}
+	return prog.posNode[posNodeKey(pkg.Path, pos)]
+}
+
+// freshLocal reports whether root is a local variable the enclosing
+// function defined with a composite literal (`x := &T{...}` or
+// `x := T{...}`): an object under construction that no other goroutine or
+// caller can observe yet.
+func freshLocal(pkg *Package, fn ast.Node, root types.Object) bool {
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	if body == nil {
+		return false
+	}
+	fresh := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fresh {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || pkg.Info.Defs[id] != root || i >= len(as.Rhs) {
+				continue
+			}
+			rhs := ast.Unparen(as.Rhs[i])
+			if u, ok := rhs.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				rhs = ast.Unparen(u.X)
+			}
+			if _, ok := rhs.(*ast.CompositeLit); ok {
+				fresh = true
+			}
+		}
+		return true
+	})
+	return fresh
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/token"
+)
+
+// handler-purity: every rfcd response and exhibit result must be a pure
+// function of (kind, params, seed) — DESIGN §8. The per-function
+// nondet-source rule cannot see a handler that calls three hops into a
+// helper reading the clock, so this rule walks the linked call graph from
+// every purity entry point (net/http-shaped handler functions and the Run
+// field of exhibit registrations) and reports every nondeterminism fact
+// reachable from one: wall-clock reads, math/rand or crypto/rand draws,
+// order-sensitive map ranges, and writes to package-level mutable state.
+//
+// Each diagnostic carries a witness path (root -> ... -> offending
+// function) so the report is checkable by eye. A fact reachable from
+// several roots is reported once, from the first root in deterministic
+// order. Files on Config.AllowFiles are exempt at collection time (their
+// facts never enter the summaries), and sanctioned exceptions — e.g.
+// build-duration metrics that feed /metrics, never response bytes — use
+// the regular //rfclint:allow handler-purity annotation at the source line.
+
+func checkHandlerPurity(cfg *Config, prog *Program) []Finding {
+	var out []Finding
+	reported := map[token.Pos]bool{}
+	for _, root := range prog.roots {
+		pred := reach(root.node)
+		// Iterate prog.nodes (sorted by id) rather than the map for
+		// deterministic fact order.
+		for _, n := range prog.nodes {
+			if _, ok := pred[n]; !ok {
+				continue
+			}
+			for _, f := range n.facts {
+				if reported[f.pos] {
+					continue
+				}
+				reported[f.pos] = true
+				msg := f.msg + " reached from " + root.label
+				if path := witnessPath(pred, n); n != root.node {
+					msg += " via " + path
+				}
+				out = append(out, Finding{
+					Pos:  n.pkg.Fset.Position(f.pos),
+					Rule: "handler-purity",
+					Msg:  msg + "; responses must be a pure function of (kind, params, seed)",
+				})
+			}
+		}
+	}
+	return out
+}

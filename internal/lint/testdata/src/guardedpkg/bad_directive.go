@@ -1,0 +1,9 @@
+package guardedpkg
+
+// badSpec carries a guardedby directive naming a mutex that does not exist:
+// the malformed directive is itself a finding, so annotation typos cannot
+// silently disable checking.
+type badSpec struct {
+	//rfclint:guardedby missing
+	x int //lintwant:lock-discipline
+}

@@ -1,0 +1,118 @@
+// Package guardedpkg exercises the lock-discipline rule: //rfclint:guardedby
+// fields must be accessed with the named sibling mutex held (or through
+// sync/atomic for guardedby atomic), and //rfclint:locked functions demand
+// the lock at every call site. The non-firing cases pin the lexical model:
+// defer'd unlocks, the early-return-unlock idiom, and constructor writes to
+// fresh locals are all legal.
+package guardedpkg
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counterBox struct {
+	mu sync.RWMutex
+	//rfclint:guardedby mu
+	n int
+	//rfclint:guardedby atomic
+	hot atomic.Int64
+}
+
+// newBox populates a fresh local: construction is exempt.
+func newBox() *counterBox {
+	b := &counterBox{}
+	b.n = 1
+	return b
+}
+
+func goodRead(b *counterBox) int {
+	b.mu.Lock()
+	n := b.n
+	b.mu.Unlock()
+	return n
+}
+
+func goodRLockRead(b *counterBox) int {
+	b.mu.RLock()
+	n := b.n
+	b.mu.RUnlock()
+	return n
+}
+
+func goodDeferWrite(b *counterBox) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+// goodEarlyReturn is the Cache.Get idiom: the unlock inside the hit branch
+// must not clobber the lock state of the fall-through path.
+func goodEarlyReturn(b *counterBox, hit bool) int {
+	b.mu.Lock()
+	if hit {
+		n := b.n
+		b.mu.Unlock()
+		return n
+	}
+	b.n = 0
+	b.mu.Unlock()
+	return 0
+}
+
+func badRead(b *counterBox) int {
+	return b.n //lintwant:lock-discipline
+}
+
+func badWrite(b *counterBox) {
+	b.n = 7 //lintwant:lock-discipline
+}
+
+func badWriteUnderRLock(b *counterBox) {
+	b.mu.RLock()
+	b.n++ //lintwant:lock-discipline
+	b.mu.RUnlock()
+}
+
+// badCondLock pins the block-scoping: a lock taken in one branch never
+// blesses code outside it.
+func badCondLock(b *counterBox, ok bool) int {
+	if ok {
+		b.mu.Lock()
+		b.mu.Unlock()
+	}
+	return b.n //lintwant:lock-discipline
+}
+
+// allowedPeek is the sanctioned exception path.
+func allowedPeek(b *counterBox) int {
+	return b.n //rfclint:allow lock-discipline -- racy telemetry read, tolerated
+}
+
+func goodAtomic(b *counterBox) int64 {
+	b.hot.Store(1)
+	return b.hot.Load()
+}
+
+func badAtomicEscape(b *counterBox) {
+	p := &b.hot //lintwant:lock-discipline
+	p.Store(2)
+}
+
+// bumpLocked pushes the obligation to callers; its own body is checked as
+// if the lock were held.
+//
+//rfclint:locked mu
+func (b *counterBox) bumpLocked() {
+	b.n++
+}
+
+func goodLockedCaller(b *counterBox) {
+	b.mu.Lock()
+	b.bumpLocked()
+	b.mu.Unlock()
+}
+
+func badLockedCaller(b *counterBox) {
+	b.bumpLocked() //lintwant:lock-discipline
+}

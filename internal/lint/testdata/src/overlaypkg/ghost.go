@@ -1,0 +1,8 @@
+package overlaypkg
+
+// ghost names a nonexistent invalidation function: the unresolvable
+// directive is itself a finding, anchored at the field.
+type ghost struct {
+	//rfclint:mutatesvia nonexistent
+	data []byte //lintwant:overlay-invalidate
+}

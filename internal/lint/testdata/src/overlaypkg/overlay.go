@@ -1,0 +1,59 @@
+// Package overlaypkg exercises the overlay-invalidate rule: the rows field
+// models topology.Clos adjacency whose derived state (dirty flag standing in
+// for LeafRange/StoreBytes) must be invalidated before any mutation, so
+// every write must happen inside — or on a call path into — the designated
+// invalidation function.
+package overlaypkg
+
+type store struct {
+	//rfclint:mutatesvia invalidate
+	rows  []int
+	dirty bool
+}
+
+// newStore populates a fresh local: construction is exempt.
+func newStore() *store {
+	s := &store{}
+	s.rows = make([]int, 4)
+	return s
+}
+
+// invalidate is the designated mutation point — it may write rows directly.
+func (s *store) invalidate() {
+	s.dirty = true
+	s.rows = nil
+}
+
+// add reaches invalidate through the call graph, so its own write is legal.
+func (s *store) add(v int) {
+	s.invalidate()
+	s.rows = append(s.rows, v)
+}
+
+// sneak writes adjacency without ever invalidating: the core violation.
+func (s *store) sneak(v int) {
+	s.rows[0] = v //lintwant:overlay-invalidate
+}
+
+// feed leaks the field to a module function that may mutate it.
+func (s *store) feed() {
+	fill(s.rows) //lintwant:overlay-invalidate
+}
+
+func fill(rows []int) {
+	for i := range rows {
+		rows[i] = i
+	}
+}
+
+// snapshot only reads: copy's source argument and len are not writes.
+func (s *store) snapshot() []int {
+	out := make([]int, len(s.rows))
+	copy(out, s.rows)
+	return out
+}
+
+// tweak is the sanctioned exception path.
+func (s *store) tweak() {
+	s.rows[0]++ //rfclint:allow overlay-invalidate -- test-only backdoor
+}

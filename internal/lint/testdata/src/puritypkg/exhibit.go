@@ -1,0 +1,47 @@
+// Package puritypkg exercises the interprocedural handler-purity rule: the
+// fixture config points ExhibitPkg at this package, so the Exhibit type
+// below plays the role of internal/exhibit's registry, and the handlers in
+// handlers.go play the role of internal/service. The package is deliberately
+// NOT on the Deterministic list — every finding here must come from the
+// call-graph pass, not the per-function nondet-source rule.
+package puritypkg
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Exhibit mirrors the real registry entry: Run is a purity entry point.
+type Exhibit struct {
+	Name string
+	Run  func()
+}
+
+var exhibits []Exhibit
+
+// register wires up one literal Run and one factory-built Run. register
+// itself is unreachable from any root, so its append to package state is not
+// a finding; the Run values it registers are roots.
+func register() {
+	exhibits = append(exhibits, Exhibit{
+		Name: "lit",
+		Run: func() {
+			_ = time.Now() //lintwant:handler-purity
+		},
+	})
+	exhibits = append(exhibits, Exhibit{Name: "sweep", Run: sweep(3)})
+}
+
+// sweep is an exhibit factory: the root is the factory itself, and the
+// containment edge to the returned literal carries reachability into doRand.
+func sweep(n int) func() {
+	return func() {
+		for i := 0; i < n; i++ {
+			doRand()
+		}
+	}
+}
+
+func doRand() {
+	_ = rand.Float64() //lintwant:handler-purity
+}

@@ -1,0 +1,92 @@
+package puritypkg
+
+import (
+	"net/http"
+	"sort"
+	"time"
+)
+
+// handlerDirect reads the clock in its own body: the shortest witness path.
+func handlerDirect(w http.ResponseWriter, r *http.Request) {
+	_ = time.Now() //lintwant:handler-purity
+	w.WriteHeader(http.StatusOK)
+}
+
+// handlerDeep reaches a nondeterministic source three hops down.
+func handlerDeep(w http.ResponseWriter, r *http.Request) {
+	hop1()
+}
+
+func hop1() { hop2() }
+
+func hop2() {
+	_ = time.Since(epoch) //lintwant:handler-purity
+}
+
+var epoch time.Time
+
+// dispatcher models a call through a function-typed struct field, the
+// Cache.build shape: the edge resolves by signature to every address-taken
+// function, here stamp.
+type dispatcher struct {
+	fn func() int64
+}
+
+func newDispatcher() dispatcher { return dispatcher{fn: stamp} }
+
+func stamp() int64 {
+	return time.Now().UnixNano() //lintwant:handler-purity
+}
+
+func handlerIndirect(w http.ResponseWriter, r *http.Request) {
+	d := newDispatcher()
+	_ = d.fn()
+}
+
+// Source models interface dispatch: class-hierarchy analysis must find the
+// lone implementation and follow it into the global write.
+type Source interface {
+	Value() int
+}
+
+type counterSource struct{}
+
+var calls int
+
+func (counterSource) Value() int {
+	calls++ //lintwant:handler-purity
+	return calls
+}
+
+func handlerIface(w http.ResponseWriter, r *http.Request) {
+	var s Source = counterSource{}
+	_ = s.Value()
+}
+
+// handlerPure is the non-firing case: everything it reaches is a pure
+// function of the request, including a map range whose keys are sorted
+// before use.
+func handlerPure(w http.ResponseWriter, r *http.Request) {
+	for _, k := range sortedKeys(map[string]int{"a": 1}) {
+		_, _ = w.Write([]byte(k))
+	}
+}
+
+func sortedKeys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// handlerAllowed reaches a clock read that is explicitly sanctioned at the
+// source line — the metrics-timing idiom. No finding may survive.
+func handlerAllowed(w http.ResponseWriter, r *http.Request) {
+	recordLatency()
+}
+
+func recordLatency() {
+	_ = time.Now() //rfclint:allow handler-purity -- feeds a latency gauge, never response bytes
+}

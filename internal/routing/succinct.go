@@ -38,8 +38,11 @@ type SuccinctTurnIndex struct {
 	// passes promoteAfter lookups it is materialised as a dense N1-byte
 	// row (published via hot) while promotedBytes stays within
 	// promoteBudget. promoteBudget <= 0 disables promotion.
-	hot           []atomic.Pointer[[]uint8]
-	hits          []atomic.Uint32
+	//rfclint:guardedby atomic
+	hot []atomic.Pointer[[]uint8]
+	//rfclint:guardedby atomic
+	hits []atomic.Uint32
+	//rfclint:guardedby atomic
 	promotedBytes atomic.Int64
 	promoteBudget int64
 }

@@ -36,13 +36,21 @@ type Clos struct {
 	offset    []int32 // offset[i] = global id of first switch at level i+1
 	// up[i] / down[i] are the sealed CSR blocks of level i+1's up- and
 	// down-links. down[0] and up[l-1] stay empty: leaves have no down-links
-	// and roots no up-links.
-	up   []csrLevel
+	// and roots no up-links. Only sealing may write them: post-seal link
+	// mutations go through the overlay so derived state stays honest.
+	//rfclint:mutatesvia Seal
+	up []csrLevel
+	//rfclint:mutatesvia Seal
 	down []csrLevel
 	// ovl overrides the CSR rows of switches touched by AddLink/RemoveLink;
-	// nil until the first mutation.
+	// nil until the first mutation. ensureOverlay is the single
+	// invalidation point: it materialises the overlay AND drops leafRange,
+	// so every mutation path must flow through it (rfclint pins this).
+	//rfclint:mutatesvia ensureOverlay
 	ovl *overlay
-	// wires counts inter-switch links, maintained by Seal and the mutators.
+	// wires counts inter-switch links, maintained by Seal and the mutators
+	// (which reach ensureOverlay before touching adjacency).
+	//rfclint:mutatesvia ensureOverlay,Seal
 	wires int
 	// sink, when set, observes level pairs as builders seal them.
 	sink LevelSink
@@ -53,6 +61,7 @@ type Clos struct {
 	// thereby drops it, so a present range is always trustworthy. Routing
 	// builds descendant sets directly from these intervals instead of
 	// unioning children.
+	//rfclint:mutatesvia ensureOverlay,setLeafRanges
 	leafRange []int32
 }
 
