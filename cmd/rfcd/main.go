@@ -14,6 +14,7 @@
 //	POST /v1/paths                      batch of src/dst pairs, one round trip
 //	POST /v1/expand                     plan an R-terminal expansion step (§5, Thm 4.2)
 //	GET  /v1/faults?key=&links=&seed=   connectivity + routability under random faults
+//	POST /v1/throughput                 max-min-fair flow rates for a traffic matrix
 //
 // Usage:
 //

@@ -53,6 +53,7 @@ func main() {
 		patterns = flag.String("patterns", "", "comma-separated traffic patterns for fig8-10 (default all three)")
 		workers  = flag.Int("workers", runtime.NumCPU(), "worker pool size for simulation/Monte-Carlo jobs (results are identical for any value)")
 		infSink  = flag.Bool("infsink", false, "model infinite reception bandwidth (see simnet.Config.InfiniteSink)")
+		backend  = flag.String("backend", "", "throughput engine for fig8-10: cycle (default) | flow (max-min-fair solver)")
 		asCSV    = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		asJSON   = flag.Bool("json", false, "emit the versioned JSON report instead of aligned text")
 		shardStr = flag.String("shard", "", "run only this slice of each exhibit's job grid, as k/n (requires -out or -json)")
@@ -79,6 +80,7 @@ func main() {
 			Reps:         *reps,
 			Workers:      *workers,
 			InfiniteSink: *infSink,
+			Backend:      *backend,
 			Shard:        shard,
 		},
 		asCSV:  *asCSV,

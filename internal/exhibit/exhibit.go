@@ -23,6 +23,10 @@ const (
 	Analytic   Kind = "analytic"
 	Sim        Kind = "sim"
 	Resiliency Kind = "resiliency"
+	// Flow marks exhibits computed by the flow-level max-min-fair backend
+	// (internal/flow): exact per-flow rates from water-filling, no cycle
+	// simulation, reaching scales the cycle engine cannot.
+	Flow Kind = "flow"
 )
 
 // Result is the structured report an exhibit produces.
@@ -51,6 +55,11 @@ type Params struct {
 	// InfiniteSink models infinite reception bandwidth (fig8-10 only, as in
 	// the pre-registry CLI).
 	InfiniteSink bool
+	// Backend selects the throughput engine of the scenario sweeps
+	// (fig8-10): "" or "cycle" runs the cycle-accurate simulator, "flow"
+	// the flow-level max-min-fair solver. Flow-kind exhibits always use the
+	// flow backend; other exhibits ignore the knob.
+	Backend string
 	// Progress, when non-nil, receives one line per completed job of the
 	// exhibits that report progress.
 	Progress func(string)

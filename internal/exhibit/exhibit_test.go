@@ -12,7 +12,8 @@ import (
 var wantOrder = []string{
 	"fig5", "fig6", "fig7", "costs", "thm42", "fig8", "fig9", "fig10",
 	"fig11", "fig12", "ablation", "structure", "adversarial", "tables",
-	"jellyfish", "rrnfaults", "table3",
+	"jellyfish", "rrnfaults", "hotspot", "incast", "elephants", "storm",
+	"flowscale", "table3",
 }
 
 func TestRegistryOrder(t *testing.T) {

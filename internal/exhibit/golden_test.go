@@ -32,12 +32,18 @@ func goldenParams(id string) Params {
 	case "jellyfish":
 		p.Cycles, p.Reps = 400, 2
 		p.Loads = []float64{0.3, 0.8}
+	case "hotspot", "incast", "elephants", "storm":
+		p.Reps = 2
+		p.Loads = []float64{0.3, 0.8}
+	case "flowscale":
+		p.Reps = 1
+		p.Loads = []float64{0.5, 1.0}
 	}
 	return p
 }
 
 // slowGolden marks the exhibits worth skipping under -short.
-var slowGolden = map[string]bool{"fig10": true, "fig12": true, "rrnfaults": true}
+var slowGolden = map[string]bool{"fig10": true, "fig12": true, "rrnfaults": true, "flowscale": true}
 
 func readGolden(t *testing.T, name string) string {
 	t.Helper()
@@ -88,5 +94,39 @@ func TestGoldenAll(t *testing.T) {
 	}
 	if want := readGolden(t, "all"); got != want {
 		t.Errorf("-exhibit all output differs from pre-registry golden (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestUpdateGoldens regenerates every golden file (per-exhibit and the
+// concatenated all.txt) when UPDATE_EXHIBIT_GOLDEN is set; it is a no-op
+// otherwise. Pre-existing goldens must come out byte-identical — check with
+// git diff after running. Refresh with:
+//
+//	UPDATE_EXHIBIT_GOLDEN=1 go test ./internal/exhibit/ -run TestUpdateGoldens
+func TestUpdateGoldens(t *testing.T) {
+	if os.Getenv("UPDATE_EXHIBIT_GOLDEN") == "" {
+		t.Skip("set UPDATE_EXHIBIT_GOLDEN=1 to regenerate goldens")
+	}
+	var all string
+	for _, e := range All() {
+		rep, err := e.Run(goldenParams(e.ID))
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		path := filepath.Join("testdata", "golden", e.ID+".txt")
+		if err := os.WriteFile(path, []byte(rep.Format()+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		allRep, err := e.Run(Params{
+			Scale: "small", Seed: 7, Trials: 2, Cycles: 300, Reps: 1,
+			Loads: []float64{0.5}, Patterns: []string{"uniform"},
+		})
+		if err != nil {
+			t.Fatalf("%s (all params): %v", e.ID, err)
+		}
+		all += allRep.Format() + "\n"
+	}
+	if err := os.WriteFile(filepath.Join("testdata", "golden", "all.txt"), []byte(all), 0o644); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,6 +1,8 @@
 package exhibit
 
 import (
+	"fmt"
+
 	"rfclos/internal/analysis"
 )
 
@@ -28,14 +30,43 @@ func applyCycles(measure, warmup *int, p Params) {
 	}
 }
 
-// scenarioSweep builds the fig8/9/10 runner for one §6 scenario index.
+// flowOptions maps the shared Params onto the flow backend's options.
+func flowOptions(p Params) analysis.FlowOptions {
+	return analysis.FlowOptions{
+		Seed: p.Seed, Reps: p.Reps, Workers: p.Workers, Progress: p.Progress,
+		Loads: p.Loads, Patterns: p.Patterns, Shard: p.Shard,
+	}
+}
+
+// scenarioSweep builds the fig8/9/10 runner for one §6 scenario index,
+// dispatching on Params.Backend between the cycle engine and the flow-level
+// solver.
 func scenarioSweep(scenario int) func(Params) (*Result, error) {
 	return func(p Params) (*Result, error) {
 		scs := analysis.Scenarios(p.Scale)
-		if scenario < 0 || scenario >= len(scs) {
-			return analysis.ScenarioSweep(scs[0], simOptions(p))
+		sc := scs[0]
+		if scenario >= 0 && scenario < len(scs) {
+			sc = scs[scenario]
 		}
-		return analysis.ScenarioSweep(scs[scenario], simOptions(p))
+		switch p.Backend {
+		case "", "cycle":
+			return analysis.ScenarioSweep(sc, simOptions(p))
+		case "flow":
+			return analysis.FlowScenarioSweep(sc, flowOptions(p))
+		default:
+			return nil, fmt.Errorf("exhibit: unknown backend %q (cycle|flow)", p.Backend)
+		}
+	}
+}
+
+// flowWorkload builds a flow-only exhibit runner: the equal-resources
+// scenario's networks under one pinned traffic matrix. The matrix is the
+// exhibit's identity, so Params.Patterns is deliberately ignored.
+func flowWorkload(matrix string) func(Params) (*Result, error) {
+	return func(p Params) (*Result, error) {
+		opts := flowOptions(p)
+		opts.Patterns = []string{matrix}
+		return analysis.FlowScenarioSweep(analysis.Scenarios(p.Scale)[0], opts)
 	}
 }
 
@@ -165,6 +196,33 @@ func init() {
 				Workers: p.Workers, Progress: p.Progress, Shard: p.Shard}
 			applyCycles(&opts.Sim.MeasureCycles, &opts.Sim.WarmupCycles, p)
 			return analysis.RRNFaults(opts)
+		},
+	})
+	register(Exhibit{
+		ID: "hotspot", Kind: Flow, Defaults: "scale=small loads=0.1..1.0 reps=3",
+		Title: "Flow backend: hotspot traffic, equal-resources scenario",
+		Run:   flowWorkload("hotspot"),
+	})
+	register(Exhibit{
+		ID: "incast", Kind: Flow, Defaults: "scale=small loads=0.1..1.0 reps=3",
+		Title: "Flow backend: incast fan-in traffic, equal-resources scenario",
+		Run:   flowWorkload("incast"),
+	})
+	register(Exhibit{
+		ID: "elephants", Kind: Flow, Defaults: "scale=small loads=0.1..1.0 reps=3",
+		Title: "Flow backend: elephant-and-mice traffic, equal-resources scenario",
+		Run:   flowWorkload("elephant-mice"),
+	})
+	register(Exhibit{
+		ID: "storm", Kind: Flow, Defaults: "scale=small loads=0.1..1.0 reps=3",
+		Title: "Flow backend: permutation storms, equal-resources scenario",
+		Run:   flowWorkload("storm"),
+	})
+	register(Exhibit{
+		ID: "flowscale", Kind: Flow, Defaults: "scale=small loads=0.1..1.0 reps=3 patterns=uniform,storm",
+		Title: "Flow backend: RFC vs RRN vs XGFT at 10× scenario scale",
+		Run: func(p Params) (*Result, error) {
+			return analysis.FlowScale(p.Scale, flowOptions(p))
 		},
 	})
 	register(Exhibit{

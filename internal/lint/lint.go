@@ -76,6 +76,7 @@ func DefaultConfig(module string) *Config {
 		"internal/core",
 		"internal/engine",
 		"internal/exhibit",
+		"internal/flow",
 		"internal/gf",
 		"internal/graph",
 		"internal/metrics",

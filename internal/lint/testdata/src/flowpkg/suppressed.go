@@ -1,0 +1,13 @@
+package flowpkg
+
+// saturatedLinks collects which links froze this round, for a debug
+// counter treated as an unordered set — the annotation documents the
+// exception.
+func saturatedLinks(sat map[int32]bool) []int32 {
+	var out []int32
+	//rfclint:allow map-range-order -- debug counter, result is an unordered set
+	for l := range sat {
+		out = append(out, l)
+	}
+	return out
+}

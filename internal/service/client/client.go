@@ -166,6 +166,20 @@ func (c *Client) Expand(ctx context.Context, req service.ExpandRequest) (*servic
 	return &resp, nil
 }
 
+// Throughput requests POST /v1/throughput: solve one traffic matrix on the
+// cached topology with the flow-level max-min-fair backend.
+func (c *Client) Throughput(ctx context.Context, req service.ThroughputRequest) (*service.ThroughputResponse, error) {
+	body, err := c.post(ctx, "/v1/throughput", req)
+	if err != nil {
+		return nil, err
+	}
+	var resp service.ThroughputResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Faults requests GET /v1/faults: drop links random links from the seeded
 // stream and report connectivity and routability.
 func (c *Client) Faults(ctx context.Context, key string, links int, seed uint64) (*service.FaultsResponse, error) {

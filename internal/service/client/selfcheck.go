@@ -155,6 +155,26 @@ func Selfcheck(out io.Writer) error {
 	step("faults -5 links: connected=%v routable=%v unroutable_pairs=%d",
 		flt.Connected, flt.Routable, flt.UnroutablePairs)
 
+	// The flow-level solver must be deterministic against the cached build:
+	// identical requests return identical summaries, feasible per terminal.
+	treq := service.ThroughputRequest{Key: first.Key, Matrix: "uniform", Load: 1, Seed: 7}
+	thr1, err := c.Throughput(ctx, treq)
+	if err != nil {
+		return fmt.Errorf("throughput: %w", err)
+	}
+	thr2, err := c.Throughput(ctx, treq)
+	if err != nil {
+		return fmt.Errorf("throughput repeat: %w", err)
+	}
+	if *thr1 != *thr2 {
+		return fmt.Errorf("throughput responses differ across repeats: %+v vs %+v", thr1, thr2)
+	}
+	if thr1.Accepted <= 0 || thr1.Accepted > 1 || thr1.Unroutable != 0 {
+		return fmt.Errorf("throughput summary implausible: %+v", thr1)
+	}
+	step("throughput deterministic: accepted=%.4f min=%.4f jain=%.4f rounds=%d",
+		thr1.Accepted, thr1.MinRate, thr1.Jain, thr1.Rounds)
+
 	metrics, err := c.MetricsText(ctx)
 	if err != nil {
 		return fmt.Errorf("metrics: %w", err)

@@ -8,9 +8,11 @@ import (
 	"strconv"
 
 	"rfclos/internal/core"
+	"rfclos/internal/flow"
 	"rfclos/internal/rng"
 	"rfclos/internal/routing"
 	"rfclos/internal/topology"
+	"rfclos/internal/traffic"
 )
 
 // Options configures a Server.
@@ -58,6 +60,7 @@ func New(opts Options) *Server {
 	s.route("POST /v1/paths", s.handlePaths)
 	s.route("POST /v1/expand", s.handleExpand)
 	s.route("GET /v1/faults", s.handleFaults)
+	s.route("POST /v1/throughput", s.handleThroughput)
 	return s
 }
 
@@ -602,6 +605,97 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// ThroughputRequest is the POST /v1/throughput body: solve one traffic
+// matrix on the cached topology named by Key with the flow-level
+// max-min-fair backend (internal/flow). Matrix names a canonical generator
+// (uniform, random-pairing, fixed-random, shift, hotspot, incast,
+// elephant-mice, storm; default uniform), Load scales its rates (default
+// 1.0), and Seed drives matrix generation and path sampling (default 1).
+type ThroughputRequest struct {
+	Key    string  `json:"key"`
+	Matrix string  `json:"matrix,omitempty"`
+	Load   float64 `json:"load,omitempty"`
+	Seed   uint64  `json:"seed,omitempty"`
+}
+
+// ThroughputResponse is the POST /v1/throughput response: the solver's
+// summary statistics. A pure function of (key's params, matrix, load, seed).
+type ThroughputResponse struct {
+	Key    string  `json:"key"`
+	Matrix string  `json:"matrix"`
+	Load   float64 `json:"load"`
+	Seed   uint64  `json:"seed"`
+	// Flows counts routed flows, Unroutable the flows dropped for lack of a
+	// path (faulted builds).
+	Flows      int `json:"flows"`
+	Unroutable int `json:"unroutable"`
+	// Accepted is delivered rate per terminal; MinRate/MeanRate/MaxRate and
+	// Jain summarise the per-flow max-min-fair allocation.
+	Accepted float64 `json:"accepted"`
+	MinRate  float64 `json:"min_rate"`
+	MeanRate float64 `json:"mean_rate"`
+	MaxRate  float64 `json:"max_rate"`
+	Jain     float64 `json:"jain"`
+	Rounds   int     `json:"rounds"`
+	SatLinks int     `json:"sat_links"`
+}
+
+func (s *Server) handleThroughput(w http.ResponseWriter, r *http.Request) {
+	var req ThroughputRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	if req.Matrix == "" {
+		req.Matrix = "uniform"
+	}
+	if req.Load == 0 {
+		req.Load = 1
+	}
+	if req.Load < 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("load %g < 0", req.Load))
+		return
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	t, ok := s.lookup(w, req.Key)
+	if !ok {
+		return
+	}
+	// Folded Clos builds reuse the cached router and precomputed turn index;
+	// RRNs pay a per-request BFS table (no routing state is cached for them).
+	var net flow.Network
+	if t.RRN != nil {
+		rn, err := flow.NewRRN(t.RRN, 0)
+		if err != nil {
+			s.writeError(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+		net = rn
+	} else {
+		net = flow.NewClos(t.Clos, t.Router, t.Index)
+	}
+	stream := rng.At(req.Seed, rng.StringCoord("rfcd/throughput"))
+	m, err := traffic.NewMatrix(req.Matrix, net.Terminals(), stream)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	m = traffic.ScaleMatrix(m, req.Load)
+	res, err := flow.Solve(net, m, flow.Options{Seed: stream.Uint64()})
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, ThroughputResponse{
+		Key: t.Key, Matrix: req.Matrix, Load: req.Load, Seed: req.Seed,
+		Flows: res.Flows, Unroutable: res.Unroutable,
+		Accepted: res.Accepted, MinRate: res.MinRate, MeanRate: res.MeanRate,
+		MaxRate: res.MaxRate, Jain: res.Jain, Rounds: res.Rounds, SatLinks: res.SatLinks,
+	})
 }
 
 // FaultsResponse is the GET /v1/faults response: connectivity and up/down

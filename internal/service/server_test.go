@@ -372,3 +372,66 @@ func TestMetricsReflectTraffic(t *testing.T) {
 		t.Error("build time counter never advanced")
 	}
 }
+
+func TestThroughputEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	sum := buildTopology(t, ts.URL, Spec{Kind: "rfc", Radix: 8, Levels: 3, Leaves: 16, Seed: 1})
+
+	var resp ThroughputResponse
+	req := ThroughputRequest{Key: sum.Key, Matrix: "hotspot", Load: 0.8, Seed: 9}
+	if code := postJSON(t, ts.URL, "/v1/throughput", req, &resp); code != http.StatusOK {
+		t.Fatalf("POST /v1/throughput: HTTP %d", code)
+	}
+	if resp.Key != sum.Key || resp.Matrix != "hotspot" || resp.Load != 0.8 || resp.Seed != 9 {
+		t.Errorf("request echo wrong: %+v", resp)
+	}
+	if resp.Flows <= 0 || resp.Unroutable != 0 {
+		t.Errorf("routable build: flows=%d unroutable=%d", resp.Flows, resp.Unroutable)
+	}
+	if resp.Accepted <= 0 || resp.Accepted > 0.8+1e-9 {
+		t.Errorf("accepted %.6f outside (0, load]", resp.Accepted)
+	}
+	if resp.MinRate > resp.MeanRate || resp.MeanRate > resp.MaxRate {
+		t.Errorf("rate summary not ordered: %+v", resp)
+	}
+	if resp.Jain <= 0 || resp.Jain > 1+1e-9 {
+		t.Errorf("jain %.6f outside (0, 1]", resp.Jain)
+	}
+
+	// Identical requests are byte-identically deterministic.
+	var again ThroughputResponse
+	postJSON(t, ts.URL, "/v1/throughput", req, &again)
+	if resp != again {
+		t.Errorf("repeat request differs: %+v vs %+v", resp, again)
+	}
+
+	// Defaults: uniform matrix at full load, seed 1.
+	var def ThroughputResponse
+	if code := postJSON(t, ts.URL, "/v1/throughput", ThroughputRequest{Key: sum.Key}, &def); code != http.StatusOK {
+		t.Fatalf("defaulted POST /v1/throughput: HTTP %d", code)
+	}
+	if def.Matrix != "uniform" || def.Load != 1 || def.Seed != 1 {
+		t.Errorf("defaults not applied: %+v", def)
+	}
+
+	// RRN builds solve too (table built per request).
+	rrn := buildTopology(t, ts.URL, Spec{Kind: "rrn", N: 32, Degree: 4, Terms: 2, Seed: 1})
+	var rres ThroughputResponse
+	if code := postJSON(t, ts.URL, "/v1/throughput", ThroughputRequest{Key: rrn.Key}, &rres); code != http.StatusOK {
+		t.Fatalf("rrn POST /v1/throughput: HTTP %d", code)
+	}
+	if rres.Flows <= 0 || rres.Accepted <= 0 {
+		t.Errorf("rrn throughput: %+v", rres)
+	}
+
+	// Errors: unknown key, unknown matrix, negative load.
+	if code := postJSON(t, ts.URL, "/v1/throughput", ThroughputRequest{Key: "none"}, nil); code != http.StatusNotFound {
+		t.Errorf("unknown key: HTTP %d, want 404", code)
+	}
+	if code := postJSON(t, ts.URL, "/v1/throughput", ThroughputRequest{Key: sum.Key, Matrix: "nope"}, nil); code != http.StatusBadRequest {
+		t.Errorf("unknown matrix: HTTP %d, want 400", code)
+	}
+	if code := postJSON(t, ts.URL, "/v1/throughput", ThroughputRequest{Key: sum.Key, Load: -1}, nil); code != http.StatusBadRequest {
+		t.Errorf("negative load: HTTP %d, want 400", code)
+	}
+}

@@ -101,6 +101,47 @@ func fixedRandom(t int) traffic.Pattern {
 	return traffic.NewFixedRandom(t, rng.New(4))
 }
 
+// FlowCase is the topology/pattern view of one golden point, used by the
+// flow-level backend's cross-validation goldens (internal/flow): same
+// builders, same fixed seeds, same canonical order and names as Cases, so
+// the two backends are pinned against identical networks. Exactly one of
+// BuildClos/BuildRRN is non-nil. Engine-config mutations of the cycle cases
+// (VCs, warm-up, sampling) have no flow-level counterpart and are omitted.
+type FlowCase struct {
+	Name      string
+	Load      float64
+	BuildClos func() (*topology.Clos, error)
+	BuildRRN  func() (*topology.RRN, error)
+	Pattern   func(terms int) traffic.Pattern
+}
+
+// buildRRN reconstructs the RRN of rrnCase with its fixed generation seed.
+func buildRRN(n, d, tps int) func() (*topology.RRN, error) {
+	return func() (*topology.RRN, error) {
+		return topology.NewRRN(n, d, tps, rng.New(77))
+	}
+}
+
+// FlowCases returns the flow-level view of Cases, index for index.
+func FlowCases() []FlowCase {
+	return []FlowCase{
+		{Name: "clos/cft8x3/uniform/0.2", Load: 0.2, BuildClos: cft(8, 3), Pattern: uniform},
+		{Name: "clos/cft8x3/uniform/0.9", Load: 0.9, BuildClos: cft(8, 3), Pattern: uniform},
+		{Name: "clos/cft8x3/pairing/0.6", Load: 0.6, BuildClos: cft(8, 3), Pattern: pairing},
+		{Name: "clos/cft8x3/fixed-random/0.8/infinite-sink", Load: 0.8, BuildClos: cft(8, 3), Pattern: fixedRandom},
+		{Name: "clos/cft8x3/uniform/0.6/hash-routing", Load: 0.6, BuildClos: cft(8, 3), Pattern: uniform},
+		{Name: "clos/cft8x3/uniform/0.5/auto-warmup", Load: 0.5, BuildClos: cft(8, 3), Pattern: uniform},
+		{Name: "clos/cft8x3/uniform/0.4/timeline", Load: 0.4, BuildClos: cft(8, 3), Pattern: uniform},
+		{Name: "clos/cft8x3/uniform/1.0/1vc-1buf", Load: 1.0, BuildClos: cft(8, 3), Pattern: uniform},
+		{Name: "clos/cft8x3/uniform/0.7/refresh-1", Load: 0.7, BuildClos: cft(8, 3), Pattern: uniform},
+		{Name: "clos/rfc8x3x16/uniform/0.5", Load: 0.5, BuildClos: rfc(8, 3, 16), Pattern: uniform},
+		{Name: "clos/cft4x2-isolated-leaf/uniform/0.5", Load: 0.5, BuildClos: isolatedLeafCFT, Pattern: uniform},
+		{Name: "rrn32x4x2/uniform/0.5", Load: 0.5, BuildRRN: buildRRN(32, 4, 2), Pattern: uniform},
+		{Name: "rrn64x6x3/uniform/1.0", Load: 1.0, BuildRRN: buildRRN(64, 6, 3), Pattern: uniform},
+		{Name: "rrn64x6x3/pairing/0.8", Load: 0.8, BuildRRN: buildRRN(64, 6, 3), Pattern: pairing},
+	}
+}
+
 // Cases returns the golden points in their canonical order.
 func Cases() []Case {
 	return []Case{

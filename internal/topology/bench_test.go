@@ -41,3 +41,36 @@ func BenchmarkTopologyBuild(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkExportEdges measures streaming the full link set, sealed
+// (CSR-direct fast path) vs after one mutation (overlay fallback).
+// scripts/bench.sh records the sealed 64K-leaf rate as the export-edges
+// datapoint in BENCH_engine.json.
+func BenchmarkExportEdges(b *testing.B) {
+	m3 := 65536 / 8
+	c, err := topology.NewXGFT([]int{4, 8, m3}, []int{1, 8, 2}, m3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, c *topology.Clos) {
+		count := 0
+		for i := 0; i < b.N; i++ {
+			count = 0
+			for range c.EdgeSeq() {
+				count++
+			}
+		}
+		if count != c.Wires() {
+			b.Fatalf("streamed %d links, want %d", count, c.Wires())
+		}
+		b.ReportMetric(float64(count)*float64(b.N)/b.Elapsed().Seconds(), "links/s")
+	}
+	b.Run("sealed", func(b *testing.B) { run(b, c) })
+	b.Run("overlay", func(b *testing.B) {
+		cp := c.Clone()
+		l := cp.Links()[0]
+		cp.AddLink(l.A, l.B)
+		cp.RemoveLink(l.A, l.B)
+		run(b, cp)
+	})
+}

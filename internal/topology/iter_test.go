@@ -162,3 +162,61 @@ func equalInt32(a, b []int32) bool {
 	}
 	return true
 }
+
+// referenceEdges is the pre-fast-path export order: the per-switch upAt walk
+// over every level. The CSR-direct path in yieldLevel must match it link for
+// link.
+func referenceEdges(c *Clos) []Link {
+	var out []Link
+	for level := 1; level < c.Levels(); level++ {
+		lo := c.offset[level-1]
+		for i := 0; i < c.levelSize[level-1]; i++ {
+			s := lo + int32(i)
+			for _, b := range c.upAt(level, i) {
+				out = append(out, Link{s, b})
+			}
+		}
+	}
+	return out
+}
+
+// TestEdgeSeqFastPathMatchesReference pins the CSR-direct export path (no
+// overlay) and the overlay fallback against the per-switch reference walk.
+func TestEdgeSeqFastPathMatchesReference(t *testing.T) {
+	c, err := NewCFT(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(label string) {
+		t.Helper()
+		want := referenceEdges(c)
+		var got []Link
+		for l := range c.EdgeSeq() {
+			got = append(got, l)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: EdgeSeq yielded %d links, reference %d", label, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: EdgeSeq[%d] = %v, reference %v", label, i, got[i], want[i])
+			}
+		}
+	}
+	if c.ovl != nil {
+		t.Fatal("freshly built CFT should have no overlay")
+	}
+	check("sealed fast path")
+
+	// Force the overlay while keeping the adjacency logically identical:
+	// append a duplicate link, then remove one copy (swap-remove keeps a
+	// same-valued entry in the slot). The fallback path must now run and
+	// still agree with the reference walk.
+	l := c.Links()[0]
+	c.AddLink(l.A, l.B)
+	c.RemoveLink(l.A, l.B)
+	if c.ovl == nil {
+		t.Fatal("mutation did not materialise the overlay")
+	}
+	check("overlay fallback")
+}

@@ -21,7 +21,11 @@
 #     plain-bitset cover bytes on the same XGFT (BenchmarkCoverBuild), and
 #   - CSR level store: XGFT wiring time through the level emitter and the
 #     sealed store's bytes next to the pre-refactor [][]int32 arena cost
-#     model, at 64K and 512K leaves (BenchmarkTopologyBuild).
+#     model, at 64K and 512K leaves (BenchmarkTopologyBuild), and
+#   - streaming exports: sealed CSR-direct link streaming rate at 64K
+#     leaves (BenchmarkExportEdges, links/s), and
+#   - flow-level solver: max-min-fair solve throughput on a 64K-leaf
+#     uniform matrix, 262,144 flows (BenchmarkFlowSolve, flows/s).
 #
 # Usage: scripts/bench.sh [reps] [cycles]
 set -eu
@@ -143,6 +147,27 @@ topo512_arena=$(topo_metric 524288 arena-bytes)
 : "${topo512_csr:?bench.sh: BenchmarkTopologyBuild produced no 512K csr-bytes metric}"
 : "${topo512_arena:?bench.sh: BenchmarkTopologyBuild produced no 512K arena-bytes metric}"
 
+# Streaming exports: links/sec off the sealed CSR fast path at 64K leaves
+# (the rate every unfaulted export runs at; the overlay fallback is the
+# same benchmark's other sub-case).
+exp_out=$(go test -run '^$' -bench 'BenchmarkExportEdges/sealed' -benchtime 1x ./internal/topology/)
+exp_links=$(printf '%s\n' "$exp_out" | awk '$1 ~ /ExportEdges\/sealed/ { for (i = 1; i < NF; i++) if ($(i+1) == "links/s") print $i }')
+: "${exp_links:?bench.sh: BenchmarkExportEdges produced no links/s metric}"
+
+# Flow-level solver: one max-min-fair solve of a uniform matrix on a
+# 64K-leaf XGFT (262,144 flows), reported as end-to-end flows/sec.
+flow_out=$(go test -run '^$' -bench BenchmarkFlowSolve -benchtime 1x ./internal/flow/)
+flow_metric() { # $1 = metric unit
+	printf '%s\n' "$flow_out" | awk -v unit="$1" '
+		$1 ~ /FlowSolve/ { for (i = 1; i < NF; i++) if ($(i+1) == unit) { print $i; exit } }'
+}
+flow_fps=$(flow_metric flows/s)
+flow_rounds=$(flow_metric rounds)
+flow_accepted=$(flow_metric accepted)
+: "${flow_fps:?bench.sh: BenchmarkFlowSolve produced no flows/s metric}"
+: "${flow_rounds:?bench.sh: BenchmarkFlowSolve produced no rounds metric}"
+: "${flow_accepted:?bench.sh: BenchmarkFlowSolve produced no accepted metric}"
+
 append_point() { # $1 = JSON object line
 	if [ ! -f BENCH_engine.json ]; then
 		printf '[\n%s\n]\n' "$1" >BENCH_engine.json
@@ -169,6 +194,8 @@ append_point "  {\"date\": \"$date\", \"benchmark\": \"succinct-index\", \"leave
 append_point "  {\"date\": \"$date\", \"benchmark\": \"cover-build\", \"leaves\": 4096, \"build_ns\": $cov_build_ns, \"cover_bytes\": $cov_bytes, \"plain_bytes\": $cov_plain_bytes}"
 append_point "  {\"date\": \"$date\", \"benchmark\": \"topology-build\", \"leaves\": 65536, \"wire_ns\": $topo64_ns, \"csr_bytes\": $topo64_csr, \"arena_bytes\": $topo64_arena}"
 append_point "  {\"date\": \"$date\", \"benchmark\": \"topology-build\", \"leaves\": 524288, \"wire_ns\": $topo512_ns, \"csr_bytes\": $topo512_csr, \"arena_bytes\": $topo512_arena}"
+append_point "  {\"date\": \"$date\", \"benchmark\": \"export-edges\", \"leaves\": 65536, \"links_per_sec\": $exp_links}"
+append_point "  {\"date\": \"$date\", \"benchmark\": \"flow-solver\", \"leaves\": 65536, \"flows\": 262144, \"flows_per_sec\": $flow_fps, \"rounds\": $flow_rounds, \"accepted\": $flow_accepted}"
 
 echo "fig8 x$reps reps @ $cycles cycles: serial ${serial}s, parallel(${cores}) ${parallel}s, speedup ${speedup}x"
 echo "simcore engine: $cps simulated cycles/sec"
@@ -179,3 +206,5 @@ echo "succinct index (4096 leaves): build ${idx_build_ns}ns, ${idx_bytes_pair} b
 echo "cover sets (4096 leaves): rebuild ${cov_build_ns}ns, $cov_bytes compressed vs $cov_plain_bytes plain bytes"
 echo "topology build (64K leaves): wire ${topo64_ns}ns, $topo64_csr CSR vs $topo64_arena arena bytes"
 echo "topology build (512K leaves): wire ${topo512_ns}ns, $topo512_csr CSR vs $topo512_arena arena bytes"
+echo "export edges (64K leaves, sealed): $exp_links links/s"
+echo "flow solver (64K leaves, 262144 flows): $flow_fps flows/s, $flow_rounds rounds, accepted $flow_accepted"
